@@ -1,0 +1,44 @@
+"""Figure 7a: fault-free latency vs throughput, 1/0 benchmark, t = 1.
+
+Expected shape (Section 5.2): XPaxos performs significantly better than
+PBFT and Zyzzyva and very close to Paxos, because XPaxos and Paxos both
+implement a round trip across two replicas while the BFT patterns span
+more and farther replicas.
+"""
+
+from repro.common.config import ProtocolName
+
+from conftest import (
+    min_latency,
+    one_zero,
+    peak,
+    print_curves,
+    run_sweep,
+)
+
+PROTOCOLS = (ProtocolName.XPAXOS, ProtocolName.PAXOS, ProtocolName.PBFT,
+             ProtocolName.ZYZZYVA)
+
+
+def test_fig7a(benchmark):
+    def build():
+        return {p.value: run_sweep(p, one_zero, t=1) for p in PROTOCOLS}
+
+    curves = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_curves("Figure 7a: 1/0 benchmark, t = 1", curves)
+
+    peaks = {name: peak(points) for name, points in curves.items()}
+    latencies = {name: min_latency(points)
+                 for name, points in curves.items()}
+    print(f"peaks (kops/s): {peaks}")
+    print(f"best latencies (ms): {latencies}")
+
+    # Shape 1: XPaxos close to Paxos (same common-case span).
+    assert peaks["xpaxos"] >= 0.7 * peaks["paxos"]
+    assert latencies["xpaxos"] <= 1.4 * latencies["paxos"]
+    # Shape 2: XPaxos clearly beats both BFT protocols on throughput.
+    assert peaks["xpaxos"] > 1.2 * peaks["pbft"]
+    assert peaks["xpaxos"] > 1.2 * peaks["zyzzyva"]
+    # Shape 3: XPaxos has lower latency than both BFT protocols.
+    assert latencies["xpaxos"] < latencies["pbft"]
+    assert latencies["xpaxos"] < latencies["zyzzyva"]

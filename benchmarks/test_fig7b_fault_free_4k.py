@@ -1,0 +1,45 @@
+"""Figure 7b: fault-free latency vs throughput, 4/0 benchmark, t = 1.
+
+Same protocol ordering as Figure 7a, with lower absolute throughput than
+the 1/0 benchmark: 4 kB requests saturate the leader's WAN uplink sooner.
+"""
+
+from repro.common.config import ProtocolName
+
+from conftest import (
+    four_zero,
+    min_latency,
+    one_zero,
+    peak,
+    print_curves,
+    run_sweep,
+)
+
+PROTOCOLS = (ProtocolName.XPAXOS, ProtocolName.PAXOS, ProtocolName.PBFT,
+             ProtocolName.ZYZZYVA)
+
+
+def test_fig7b(benchmark):
+    def build():
+        four = {p.value: run_sweep(p, four_zero, t=1) for p in PROTOCOLS}
+        # One 1/0 reference sweep for the cross-benchmark assertion.
+        one = run_sweep(ProtocolName.XPAXOS, one_zero, t=1)
+        return four, one
+
+    curves, xpaxos_one_zero = benchmark.pedantic(build, rounds=1,
+                                                 iterations=1)
+    print_curves("Figure 7b: 4/0 benchmark, t = 1", curves)
+
+    peaks = {name: peak(points) for name, points in curves.items()}
+    latencies = {name: min_latency(points)
+                 for name, points in curves.items()}
+    print(f"peaks (kops/s): {peaks}")
+
+    # Same protocol ordering as the 1/0 benchmark.
+    assert peaks["xpaxos"] >= 0.7 * peaks["paxos"]
+    assert peaks["xpaxos"] > 1.2 * peaks["pbft"]
+    assert peaks["xpaxos"] > 1.2 * peaks["zyzzyva"]
+    assert latencies["xpaxos"] < latencies["pbft"]
+    assert latencies["xpaxos"] < latencies["zyzzyva"]
+    # 4 kB requests peak below 1 kB requests for the same protocol.
+    assert peaks["xpaxos"] <= peak(xpaxos_one_zero)

@@ -1,0 +1,47 @@
+"""Figure 7c: fault-free latency vs throughput, 1/0 benchmark, t = 2.
+
+Expected shape (Section 5.2): XPaxos again clearly outperforms PBFT and
+Zyzzyva and stays close to Paxos; moreover, unlike the BFT protocols,
+XPaxos and Paxos "only suffer a moderate performance decrease with respect
+to the t = 1 case".
+"""
+
+from repro.common.config import ProtocolName
+
+from conftest import min_latency, one_zero, peak, print_curves, run_sweep
+
+PROTOCOLS = (ProtocolName.XPAXOS, ProtocolName.PAXOS, ProtocolName.PBFT,
+             ProtocolName.ZYZZYVA)
+
+
+def test_fig7c(benchmark):
+    def build():
+        t2 = {p.value: run_sweep(p, one_zero, t=2) for p in PROTOCOLS}
+        t1_reference = {
+            p.value: run_sweep(p, one_zero, t=1)
+            for p in (ProtocolName.XPAXOS, ProtocolName.ZYZZYVA)
+        }
+        return t2, t1_reference
+
+    curves, reference = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_curves("Figure 7c: 1/0 benchmark, t = 2", curves)
+
+    peaks = {name: peak(points) for name, points in curves.items()}
+    latencies = {name: min_latency(points)
+                 for name, points in curves.items()}
+    print(f"peaks (kops/s): {peaks}")
+
+    # Protocol ordering as in Figure 7a.
+    assert peaks["xpaxos"] >= 0.6 * peaks["paxos"]
+    assert peaks["xpaxos"] > peaks["pbft"]
+    assert peaks["xpaxos"] > peaks["zyzzyva"]
+    assert latencies["xpaxos"] < latencies["pbft"]
+    assert latencies["xpaxos"] < latencies["zyzzyva"]
+
+    # Fault scalability: "Paxos and XPaxos only suffer a moderate
+    # performance decrease with respect to the t = 1 case."
+    xpaxos_ratio = peaks["xpaxos"] / peak(reference["xpaxos"])
+    zyzzyva_ratio = peaks["zyzzyva"] / peak(reference["zyzzyva"])
+    print(f"t2/t1 peak ratio: xpaxos {xpaxos_ratio:.2f}, "
+          f"zyzzyva {zyzzyva_ratio:.2f}")
+    assert xpaxos_ratio > 0.5

@@ -1,0 +1,66 @@
+"""Table 1: the maximum numbers of each type of fault tolerated by
+representative SMR protocols, regenerated analytically."""
+
+from repro.reliability.models import anarchy, fault_tolerance_table
+
+
+def _render(rows):
+    lines = [f"{'model':<12} {'property':<28} {'non-crash':>9} "
+             f"{'crash':>6} {'partitioned':>11} {'combined':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row.model:<12} {row.property:<28} {row.non_crash:>9} "
+            f"{row.crash:>6} {row.partitioned:>11} "
+            f"{'yes' if row.combined else '':>8}")
+    return "\n".join(lines)
+
+
+def test_table1(benchmark):
+    """Regenerate Table 1 for n = 3, 5, 7 and assert the paper's entries."""
+
+    def build():
+        return {n: fault_tolerance_table(n) for n in (3, 5, 7)}
+
+    tables = benchmark.pedantic(build, rounds=1, iterations=1)
+    for n, rows in tables.items():
+        print(f"\n=== Table 1 (n = {n}) ===")
+        print(_render(rows))
+
+    rows5 = {(r.model, r.property): r for r in tables[5]}
+    # Async CFT: consistency tolerates 0 non-crash, n crash, n-1 partitions.
+    cft = rows5[("async CFT", "consistency")]
+    assert (cft.non_crash, cft.crash, cft.partitioned) == (0, 5, 4)
+    # Async BFT consistency: floor((n-1)/3) non-crash faults.
+    bft = rows5[("async BFT", "consistency")]
+    assert bft.non_crash == 1
+    # Sync BFT: n-1 non-crash faults but zero partitioned replicas.
+    sync = rows5[("sync BFT", "consistency")]
+    assert (sync.non_crash, sync.partitioned) == (4, 0)
+    # XFT consistency mode 1 equals CFT's row; mode 2 is the combined
+    # majority threshold.
+    xft1 = rows5[("XFT", "consistency (no non-crash)")]
+    assert (xft1.non_crash, xft1.crash, xft1.partitioned) == (0, 5, 4)
+    xft2 = rows5[("XFT", "consistency (with non-crash)")]
+    assert xft2.combined and xft2.non_crash == 2
+    # XFT availability: the combined majority threshold.
+    xfta = rows5[("XFT", "availability")]
+    assert xfta.combined and xfta.non_crash == 2
+
+
+def test_anarchy_boundary(benchmark):
+    """The anarchy predicate (Definition 2) that underpins Table 1's XFT
+    rows: exhaustively check the boundary for t = 1..3."""
+
+    def sweep():
+        results = {}
+        for t in (1, 2, 3):
+            for tnc in range(0, 4):
+                for tc in range(0, 4):
+                    for tp in range(0, 4):
+                        results[(t, tnc, tc, tp)] = anarchy(t, tnc, tc, tp)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for (t, tnc, tc, tp), value in results.items():
+        expected = tnc > 0 and (tnc + tc + tp) > t
+        assert value == expected

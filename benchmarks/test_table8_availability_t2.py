@@ -1,0 +1,40 @@
+"""Table 8: nines of availability for CFT, BFT, XPaxos at t = 2."""
+
+from repro.reliability.tables import (
+    availability_table,
+    format_availability_table,
+)
+
+
+def test_table8(benchmark):
+    rows = benchmark.pedantic(lambda: availability_table(2), rounds=1,
+                              iterations=1)
+    print("\n=== Table 8: nines of availability (t = 2) ===")
+    print(format_availability_table(rows))
+
+    by_key = {(r.nines_available, r.nines_benign): r for r in rows}
+
+    # The paper's CFT columns.
+    assert [by_key[(2, nb)].cft for nb in range(3, 9)] == \
+        [2, 3, 4, 4, 4, 5]
+    assert [by_key[(3, nb)].cft for nb in range(4, 9)] == [3, 4, 5, 6, 7]
+    # Spot cells.
+    assert (by_key[(2, 3)].bft, by_key[(2, 3)].xpaxos) == (4, 5)
+    assert (by_key[(6, 7)].bft, by_key[(6, 7)].xpaxos) == (16, 17)
+
+    for row in rows:
+        # Section 6.2.2: 9ofA(XPaxos_t2) = 3*9avail - 1 = 9ofA(BFT_t2) + 1.
+        assert row.xpaxos == 3 * row.nines_available - 1
+        assert row.xpaxos == row.bft + 1
+        assert row.xpaxos >= row.cft
+
+    # The paper's three-regime gain formula for t = 2.
+    for row in rows:
+        na, nb = row.nines_available, row.nines_benign
+        if nb < 3 * na:
+            gain = 3 * na - nb
+        elif nb < 4 * na:
+            gain = 1
+        else:
+            gain = 0
+        assert row.xpaxos - row.cft == gain, row

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: replicate a key-value store with XPaxos in ~40 lines.
+
+Builds the paper's t = 1 deployment (3 replicas: CA primary, VA follower,
+JP passive), runs client operations against it, crashes the follower to
+force a view change, and shows that committed state survives.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common.config import ClusterConfig, ProtocolName
+from repro.protocols.registry import build_cluster
+from repro.smr.app import KVStore
+
+
+def call(runtime, client, op, timeout_ms=5_000.0):
+    """Invoke one operation and wait (virtual time) for its commit."""
+    done = []
+    client.on_result = done.append
+    client.propose(op, size_bytes=64)
+    runtime.sim.run(until=runtime.sim.now + timeout_ms)
+    if not done:
+        raise RuntimeError(f"operation {op!r} did not commit in time")
+    return done[0]
+
+
+def main() -> None:
+    config = ClusterConfig(
+        t=1,
+        protocol=ProtocolName.XPAXOS,
+        delta_ms=50.0,                 # LAN-ish Delta for the demo
+        request_retransmit_ms=200.0,
+        view_change_timeout_ms=500.0,
+        batch_timeout_ms=2.0,
+    )
+    runtime = build_cluster(config, num_clients=1, app_factory=KVStore)
+    client = runtime.clients[0]
+
+    print("== fault-free operation ==")
+    print("put paper xft ->", call(runtime, client, ("put", "paper", "xft")))
+    print("put venue osdi16 ->",
+          call(runtime, client, ("put", "venue", "osdi16")))
+    print("get paper ->", call(runtime, client, ("get", "paper")))
+
+    print("\n== crash the follower (r1): XPaxos changes views ==")
+    runtime.replica(1).crash()
+    print("get venue ->", call(runtime, client, ("get", "venue")))
+    views = [r.view for r in runtime.replicas if not r.crashed]
+    print(f"views after recovery: {views} (synchronous group rotated)")
+
+    print("\n== recover r1; it catches up via lazy replication ==")
+    runtime.replica(1).recover()
+    print("cas venue osdi16->osdi'16 ->",
+          call(runtime, client, ("cas", "venue", "osdi16", "osdi'16")))
+    runtime.sim.run(until=runtime.sim.now + 2_000.0)
+
+    digests = {replica.app.state_digest().hex()[:12]
+               for replica in runtime.replicas
+               if replica.committed_requests > 0}
+    print(f"state digests across replicas: {digests}")
+    assert len(digests) == 1, "replicas diverged!"
+    print("\nall replicas agree -- total order held across the view change")
+
+
+if __name__ == "__main__":
+    main()

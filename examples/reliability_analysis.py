@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Reliability calculator: the Section 6 analysis as a tool.
+
+Given per-machine nines (benign / correct / synchronous / available),
+prints the nines of consistency and availability for CFT, XPaxos and BFT,
+reproduces the paper's two worked examples, and renders excerpts of
+Tables 5-8.
+
+Run:  python examples/reliability_analysis.py
+"""
+
+from repro.reliability.models import (
+    nines_of,
+    p_bft_consistent,
+    p_cft_consistent,
+    p_xft_consistent,
+)
+from repro.reliability.tables import (
+    availability_table,
+    consistency_table,
+    format_availability_table,
+    format_consistency_table,
+)
+
+
+def worked_examples() -> None:
+    print("== the paper's worked examples (Section 6.1) ==\n")
+
+    print("Example 1: p_benign=0.9999, p_correct=p_synchrony=0.999")
+    print("  (one in ten machine faults is non-crash)")
+    cft = nines_of(p_cft_consistent(0.9999, 3))
+    xft = nines_of(p_xft_consistent(0.9999, 0.999, 0.999, t=1))
+    bft = nines_of(p_bft_consistent(0.9999, t=1))
+    print(f"  nines of consistency: CFT={cft}  XPaxos={xft}  BFT={bft}")
+    print(f"  -> XPaxos adds {xft - cft} nines over CFT at ZERO extra "
+          "replicas\n")
+
+    print("Example 2: p_benign=p_synchrony=0.9999, p_correct=0.999")
+    print("  (a more reliable network)")
+    cft = nines_of(p_cft_consistent(0.9999, 3))
+    xft = nines_of(p_xft_consistent(0.9999, 0.999, 0.9999, t=1))
+    bft = nines_of(p_bft_consistent(0.9999, t=1))
+    print(f"  nines of consistency: CFT={cft}  XPaxos={xft}  BFT={bft}")
+    print(f"  -> a better network buys XPaxos {xft - cft} nines over CFT\n")
+
+
+def crossover() -> None:
+    print("== when does XFT beat BFT on consistency? (Section 6.1.2) ==\n")
+    print("For t=1: whenever p_available > p_benign^1.5.  For instance:")
+    p_benign = 0.9999
+    for p_correct, p_synchrony in ((0.99999, 0.99999), (0.999, 0.999)):
+        p_available = p_correct * p_synchrony
+        xft = p_xft_consistent(p_benign, min(p_correct, p_benign),
+                               p_synchrony, t=1)
+        bft = p_bft_consistent(p_benign, t=1)
+        winner = "XPaxos" if xft > bft else "BFT"
+        print(f"  p_av={p_available:.6f} vs p_benign^1.5="
+              f"{p_benign ** 1.5:.6f}: {winner} is more consistent")
+    print()
+
+
+def table_excerpts() -> None:
+    print("== Table 5 excerpt: nines of consistency, t = 1 ==")
+    rows = [r for r in consistency_table(1) if r.nines_benign in (4, 5)]
+    print(format_consistency_table(rows))
+    print("\n== Table 7 excerpt: nines of availability, t = 1 ==")
+    rows = [r for r in availability_table(1) if r.nines_available <= 3]
+    print(format_availability_table(rows))
+
+
+def main() -> None:
+    worked_examples()
+    crossover()
+    table_excerpts()
+
+
+if __name__ == "__main__":
+    main()

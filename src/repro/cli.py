@@ -1,0 +1,212 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro bench --protocol xpaxos --clients 8 32 96
+    python -m repro compare --t 1
+    python -m repro faults --duration 60
+    python -m repro reliability --nines-benign 4 --nines-correct 3 \
+        --nines-synchrony 3
+    python -m repro tables --which 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.crypto.costs import CostModel
+from repro.faults.injector import FaultSchedule
+from repro.harness.configs import paper_config
+from repro.harness.runner import ExperimentRunner
+from repro.harness.timeline import run_fault_timeline
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+
+
+def _runner(seed: int, uplink: float) -> ExperimentRunner:
+    return ExperimentRunner(
+        latency_factory=lambda s: LatencyModel.ec2(seed=s),
+        bandwidth_factory=lambda: BandwidthModel(default_rate=uplink),
+        cost_model=CostModel(),
+        seed=seed,
+    )
+
+
+def _bench_config(protocol: ProtocolName, t: int) -> ClusterConfig:
+    return paper_config(protocol, t=t,
+                        request_retransmit_ms=20_000.0,
+                        view_change_timeout_ms=10_000.0,
+                        batch_timeout_ms=5.0)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Latency-vs-throughput sweep for one protocol."""
+    protocol = ProtocolName(args.protocol)
+    runner = _runner(args.seed, args.uplink)
+    config = _bench_config(protocol, args.t)
+    print(f"{protocol.value} t={args.t} "
+          f"{args.request_size}B requests, EC2 WAN")
+    print(f"{'clients':>8} {'kops/s':>9} {'lat ms':>9} {'cpu %':>7}")
+    for clients in args.clients:
+        workload = WorkloadConfig(
+            num_clients=clients, request_size=args.request_size,
+            duration_ms=args.duration * 1_000.0,
+            warmup_ms=min(500.0, args.duration * 100.0),
+            client_site="CA")
+        result = runner.run_point(config, workload)
+        lat = (f"{result.mean_latency_ms:9.1f}"
+               if result.mean_latency_ms is not None else "      n/a")
+        print(f"{clients:>8} {result.throughput_kops:9.3f} {lat} "
+              f"{result.cpu_percent_most_loaded:7.1f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """One run per protocol at a fixed client count (mini Figure 7)."""
+    runner = _runner(args.seed, args.uplink)
+    print(f"all protocols, t={args.t}, {args.clients} clients, "
+          f"{args.request_size}B requests")
+    print(f"{'protocol':>9} {'kops/s':>9} {'lat ms':>9} {'cpu %':>7}")
+    for protocol in ProtocolName:
+        config = _bench_config(protocol, args.t)
+        workload = WorkloadConfig(
+            num_clients=args.clients, request_size=args.request_size,
+            duration_ms=args.duration * 1_000.0, warmup_ms=500.0,
+            client_site="CA")
+        result = runner.run_point(config, workload)
+        lat = (f"{result.mean_latency_ms:9.1f}"
+               if result.mean_latency_ms is not None else "      n/a")
+        print(f"{protocol.value:>9} {result.throughput_kops:9.3f} {lat} "
+              f"{result.cpu_percent_most_loaded:7.1f}")
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """A Figure 9-style crash timeline on XPaxos."""
+    runner = _runner(args.seed, args.uplink)
+    duration_ms = args.duration * 1_000.0
+    config = _bench_config(ProtocolName.XPAXOS, 1)
+    config = ClusterConfig(
+        t=1, protocol=ProtocolName.XPAXOS, sites=config.sites,
+        delta_ms=1_250.0, request_retransmit_ms=2_500.0,
+        view_change_timeout_ms=10_000.0, batch_timeout_ms=5.0)
+    workload = WorkloadConfig(num_clients=args.clients, request_size=1024,
+                              duration_ms=duration_ms, warmup_ms=2_000.0,
+                              client_site="CA")
+    schedule = FaultSchedule()
+    downtime = duration_ms * 0.04
+    for fraction, victim in ((0.35, 1), (0.6, 0), (0.85, 2)):
+        schedule.crash_for(duration_ms * fraction, victim, downtime)
+    result = run_fault_timeline(runner, config, workload, schedule,
+                                window_ms=1_000.0)
+    print("XPaxos under rolling crashes (VA, CA, JP)")
+    for start, kops in result.throughput_series[::max(1,
+            int(duration_ms / 25_000))]:
+        print(f"{start / 1000.0:7.0f}s {kops:7.3f} "
+              + "#" * int(kops * 150))
+    print(f"view changes: {result.view_changes}; "
+          f"longest outage {result.longest_gap_ms() / 1000.0:.1f}s")
+    return 0
+
+
+def cmd_reliability(args: argparse.Namespace) -> int:
+    """Nines of consistency/availability at one grid point."""
+    from repro.reliability.tables import availability_cell, consistency_cell
+
+    row = consistency_cell(args.t, args.nines_benign, args.nines_correct,
+                           args.nines_synchrony)
+    print(f"consistency nines (t={args.t}, 9benign={args.nines_benign}, "
+          f"9correct={args.nines_correct}, "
+          f"9synchrony={args.nines_synchrony}):")
+    print(f"  CFT={row.cft}  XPaxos={row.xpaxos}  BFT={row.bft}")
+    nines_available = min(args.nines_correct, args.nines_synchrony)
+    arow = availability_cell(args.t, nines_available, args.nines_benign)
+    print(f"availability nines (9available~{nines_available}):")
+    print(f"  CFT={arow.cft}  XPaxos={arow.xpaxos}  BFT={arow.bft}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    """Print one of the paper's reliability tables."""
+    from repro.reliability.tables import (
+        availability_table,
+        consistency_table,
+        format_availability_table,
+        format_consistency_table,
+    )
+
+    which = args.which
+    if which in (5, 6):
+        t = 1 if which == 5 else 2
+        print(format_consistency_table(consistency_table(t)))
+    elif which in (7, 8):
+        t = 1 if which == 7 else 2
+        print(format_availability_table(availability_table(t)))
+    else:
+        print(f"unknown table {which}; choose 5, 6, 7 or 8",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XFT/XPaxos reproduction experiments")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--uplink", type=float, default=4_000.0,
+                        help="uplink bytes per virtual ms")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="latency-vs-throughput sweep")
+    bench.add_argument("--protocol", default="xpaxos",
+                       choices=[p.value for p in ProtocolName])
+    bench.add_argument("--t", type=int, default=1)
+    bench.add_argument("--clients", type=int, nargs="+",
+                       default=[8, 32, 96])
+    bench.add_argument("--request-size", type=int, default=1024)
+    bench.add_argument("--duration", type=float, default=4.0,
+                       help="virtual seconds per point")
+    bench.set_defaults(func=cmd_bench)
+
+    compare = sub.add_parser("compare", help="all protocols, one load")
+    compare.add_argument("--t", type=int, default=1)
+    compare.add_argument("--clients", type=int, default=64)
+    compare.add_argument("--request-size", type=int, default=1024)
+    compare.add_argument("--duration", type=float, default=4.0)
+    compare.set_defaults(func=cmd_compare)
+
+    faults = sub.add_parser("faults", help="Figure 9-style crash timeline")
+    faults.add_argument("--clients", type=int, default=32)
+    faults.add_argument("--duration", type=float, default=125.0,
+                        help="virtual seconds")
+    faults.set_defaults(func=cmd_faults)
+
+    reliability = sub.add_parser("reliability",
+                                 help="nines at one grid point")
+    reliability.add_argument("--t", type=int, default=1)
+    reliability.add_argument("--nines-benign", type=int, default=4)
+    reliability.add_argument("--nines-correct", type=int, default=3)
+    reliability.add_argument("--nines-synchrony", type=int, default=3)
+    reliability.set_defaults(func=cmd_reliability)
+
+    tables = sub.add_parser("tables", help="print Tables 5-8")
+    tables.add_argument("--which", type=int, required=True,
+                        choices=[5, 6, 7, 8])
+    tables.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

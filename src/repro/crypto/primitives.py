@@ -1,0 +1,222 @@
+"""Digests, digital signatures and MACs for the simulated system.
+
+Implementation notes
+--------------------
+
+* A :class:`Digest` is a real SHA-256 over a canonical encoding of the
+  message payload, so content tampering is always detectable.
+* A :class:`Signature` is *unforgeable by construction*: it can only be
+  created through :meth:`KeyStore.sign`, which requires the signer's private
+  capability.  Byzantine behaviour in the tests therefore has exactly the
+  power the paper grants it -- replaying, withholding, equivocating with
+  fresh signatures of its own, but never forging another machine's.
+* Equality of signatures is value-based so they can sit inside frozen
+  message dataclasses and travel through the network layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, Tuple
+
+from repro.common.errors import SignatureError
+
+#: Canonical principal name of machine ``p``: replicas are ``"r<i>"``,
+#: clients ``"c<i>"``.
+Principal = str
+
+
+def replica_principal(replica_id: int) -> Principal:
+    """Principal name of a replica."""
+    return f"r{replica_id}"
+
+
+def client_principal(client_id: int) -> Principal:
+    """Principal name of a client."""
+    return f"c{client_id}"
+
+
+def _canonical(obj: Any) -> bytes:
+    """Encode ``obj`` deterministically for hashing.
+
+    Handles the payload types that appear inside protocol messages: scalars,
+    bytes, tuples/lists, dicts, dataclasses, signatures and digests.
+    """
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"T" if obj else b"F"
+    if isinstance(obj, int):
+        return b"i" + str(obj).encode()
+    if isinstance(obj, float):
+        return b"f" + repr(obj).encode()
+    if isinstance(obj, str):
+        data = obj.encode()
+        return b"s" + str(len(data)).encode() + b":" + data
+    if isinstance(obj, bytes):
+        return b"b" + str(len(obj)).encode() + b":" + obj
+    if isinstance(obj, Digest):
+        return b"D" + obj.value
+    if isinstance(obj, Signature):
+        return b"S" + _canonical((obj.signer, obj.digest.value))
+    if isinstance(obj, Mac):
+        return b"M" + _canonical((obj.sender, obj.receiver, obj.digest.value))
+    if isinstance(obj, (tuple, list)):
+        parts = b"".join(_canonical(x) for x in obj)
+        return b"l" + str(len(obj)).encode() + b":" + parts
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: _canonical(kv[0]))
+        parts = b"".join(_canonical(k) + _canonical(v) for k, v in items)
+        return b"d" + str(len(obj)).encode() + b":" + parts
+    if is_dataclass(obj) and not isinstance(obj, type):
+        parts = [type(obj).__name__.encode()]
+        for f in fields(obj):
+            parts.append(_canonical(f.name))
+            parts.append(_canonical(getattr(obj, f.name)))
+        return b"c" + b"".join(parts)
+    raise TypeError(f"cannot canonically encode {type(obj).__name__}")
+
+
+@dataclass(frozen=True)
+class Digest:
+    """SHA-256 digest of a canonically encoded payload (the paper's D(m))."""
+
+    value: bytes
+
+    def hex(self) -> str:
+        """Hex form for logs and debugging."""
+        return self.value.hex()
+
+    def __repr__(self) -> str:
+        return f"Digest({self.value.hex()[:12]})"
+
+
+def digest_of(obj: Any) -> Digest:
+    """Compute ``D(obj)`` over the canonical encoding."""
+    return Digest(hashlib.sha256(_canonical(obj)).digest())
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A digital signature ``<D(m)>_{sigma_p}`` by principal ``signer``.
+
+    The private field ``_token`` is derived inside :class:`KeyStore` from the
+    signer's secret; holding a Signature object with a valid token is proof
+    the signer produced it.
+    """
+
+    signer: Principal
+    digest: Digest
+    _token: bytes
+
+    def __repr__(self) -> str:
+        return f"Sig({self.signer},{self.digest.hex()[:8]})"
+
+
+@dataclass(frozen=True)
+class Mac:
+    """A message authentication code on the channel ``sender -> receiver``."""
+
+    sender: Principal
+    receiver: Principal
+    digest: Digest
+    _token: bytes
+
+    def __repr__(self) -> str:
+        return f"Mac({self.sender}->{self.receiver},{self.digest.hex()[:8]})"
+
+
+class KeyStore:
+    """The system-wide key infrastructure.
+
+    The paper assumes every machine knows every other machine's public key
+    (Section 4.2).  A single KeyStore per experiment plays the role of that
+    PKI: ``sign``/``mac`` require the caller to *be* the principal (enforced
+    by the protocol runtime, which only hands each node its own signing
+    facade), and ``verify`` is available to everyone.
+    """
+
+    def __init__(self, secret: bytes = b"xft-repro") -> None:
+        self._secret = secret
+
+    # -- internal token derivations ------------------------------------
+    def _sig_token(self, signer: Principal, digest: Digest) -> bytes:
+        h = hashlib.sha256()
+        h.update(b"sig")
+        h.update(self._secret)
+        h.update(signer.encode())
+        h.update(digest.value)
+        return h.digest()
+
+    def _mac_token(self, sender: Principal, receiver: Principal,
+                   digest: Digest) -> bytes:
+        h = hashlib.sha256()
+        h.update(b"mac")
+        h.update(self._secret)
+        h.update(sender.encode())
+        h.update(receiver.encode())
+        h.update(digest.value)
+        return h.digest()
+
+    # -- public API -----------------------------------------------------
+    def sign(self, signer: Principal, payload: Any) -> Signature:
+        """Sign ``payload`` as ``signer`` (requires the signer's identity)."""
+        digest = digest_of(payload)
+        return Signature(signer, digest, self._sig_token(signer, digest))
+
+    def sign_digest(self, signer: Principal, digest: Digest) -> Signature:
+        """Sign an already computed digest."""
+        return Signature(signer, digest, self._sig_token(signer, digest))
+
+    def verify(self, signature: Signature, payload: Any) -> bool:
+        """Check that ``signature`` is a valid signature of ``payload``."""
+        digest = digest_of(payload)
+        return self.verify_digest(signature, digest)
+
+    def verify_digest(self, signature: Signature, digest: Digest) -> bool:
+        """Check ``signature`` against a digest."""
+        return (
+            signature.digest == digest
+            and signature._token == self._sig_token(signature.signer, digest)
+        )
+
+    def check(self, signature: Signature, payload: Any,
+              expected_signer: Principal) -> None:
+        """Verify and raise :class:`SignatureError` on failure."""
+        if signature.signer != expected_signer:
+            raise SignatureError(
+                f"signature by {signature.signer}, expected {expected_signer}"
+            )
+        if not self.verify(signature, payload):
+            raise SignatureError(
+                f"invalid signature by {signature.signer}"
+            )
+
+    def mac(self, sender: Principal, receiver: Principal,
+            payload: Any) -> Mac:
+        """Authenticate ``payload`` on the pairwise channel."""
+        digest = digest_of(payload)
+        return Mac(sender, receiver, digest,
+                   self._mac_token(sender, receiver, digest))
+
+    def verify_mac(self, mac: Mac, payload: Any) -> bool:
+        """Check a MAC against a payload."""
+        digest = digest_of(payload)
+        return (
+            mac.digest == digest
+            and mac._token == self._mac_token(mac.sender, mac.receiver,
+                                              digest)
+        )
+
+    def forge_attempt(self, forger: Principal, victim: Principal,
+                      payload: Any) -> Signature:
+        """Produce the *invalid* signature a Byzantine ``forger`` would get
+        when trying to sign as ``victim``.
+
+        The token is derived from the forger's own key, so verification
+        against ``victim`` always fails.  Used by the adversary models in the
+        test suite to demonstrate unforgeability.
+        """
+        digest = digest_of(payload)
+        return Signature(victim, digest, self._sig_token(forger, digest))

@@ -1,0 +1,137 @@
+"""Scripted fault schedules: crashes, recoveries, partitions.
+
+The Figure 9 experiment is a fault schedule: "At time 180 sec, we crash the
+follower, VA.  At time 300 sec, we crash the CA replica.  At time 420 sec,
+we crash the third replica, JP.  Each replica recovers 20 sec after having
+crashed."  :class:`FaultSchedule` expresses exactly such timelines and
+:class:`FaultInjector` executes them against a running cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.smr.runtime import ClusterRuntime
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted event in a fault schedule."""
+
+    at_ms: float
+    kind: str          # "crash" | "recover" | "partition" | "heal"
+    replica: Optional[int] = None
+    pair: Optional[Tuple[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in ("crash", "recover") and self.replica is None:
+            raise ValueError(f"{self.kind} event needs a replica id")
+        if self.kind in ("partition", "heal") and self.pair is None:
+            raise ValueError(f"{self.kind} event needs a node pair")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered list of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def crash(self, at_ms: float, replica: int) -> "FaultSchedule":
+        """Crash ``replica`` at ``at_ms``."""
+        self.events.append(FaultEvent(at_ms, "crash", replica=replica))
+        return self
+
+    def recover(self, at_ms: float, replica: int) -> "FaultSchedule":
+        """Recover ``replica`` at ``at_ms``."""
+        self.events.append(FaultEvent(at_ms, "recover", replica=replica))
+        return self
+
+    def crash_for(self, at_ms: float, replica: int,
+                  downtime_ms: float) -> "FaultSchedule":
+        """Crash then recover after ``downtime_ms`` (the Figure 9 pattern)."""
+        return self.crash(at_ms, replica).recover(at_ms + downtime_ms,
+                                                  replica)
+
+    def partition(self, at_ms: float, a: str, b: str) -> "FaultSchedule":
+        """Block the pair ``(a, b)`` at ``at_ms``."""
+        self.events.append(FaultEvent(at_ms, "partition", pair=(a, b)))
+        return self
+
+    def heal(self, at_ms: float, a: str, b: str) -> "FaultSchedule":
+        """Unblock the pair ``(a, b)`` at ``at_ms``."""
+        self.events.append(FaultEvent(at_ms, "heal", pair=(a, b)))
+        return self
+
+    @classmethod
+    def figure9(cls, base_ms: float = 0.0,
+                downtime_ms: float = 20_000.0) -> "FaultSchedule":
+        """The paper's Figure 9 timeline (times in virtual ms).
+
+        Replica ids follow Table 4's t=1 layout: 0 = CA (primary),
+        1 = VA (follower), 2 = JP (passive).
+        """
+        schedule = cls()
+        schedule.crash_for(base_ms + 180_000.0, 1, downtime_ms)  # VA
+        schedule.crash_for(base_ms + 300_000.0, 0, downtime_ms)  # CA
+        schedule.crash_for(base_ms + 420_000.0, 2, downtime_ms)  # JP
+        return schedule
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against a cluster."""
+
+    def __init__(self, runtime: ClusterRuntime) -> None:
+        self.runtime = runtime
+        self.injected: List[FaultEvent] = []
+
+    def arm(self, schedule: FaultSchedule) -> None:
+        """Schedule every event on the cluster's simulator."""
+        for event in schedule.events:
+            self.runtime.sim.call_at(
+                event.at_ms,
+                lambda e=event: self._fire(e),
+                label=f"fault:{event.kind}")
+
+    def _fire(self, event: FaultEvent) -> None:
+        self.injected.append(event)
+        if event.kind == "crash":
+            assert event.replica is not None
+            self.runtime.replica(event.replica).crash()
+        elif event.kind == "recover":
+            assert event.replica is not None
+            self.runtime.replica(event.replica).recover()
+        elif event.kind == "partition":
+            assert event.pair is not None
+            self.runtime.network.partitions.block_pair(*event.pair)
+        elif event.kind == "heal":
+            assert event.pair is not None
+            self.runtime.network.partitions.unblock_pair(*event.pair)
+
+    # -- immediate (unscheduled) injection --------------------------------
+    def crash_now(self, replica: int) -> None:
+        """Crash a replica immediately."""
+        self.runtime.replica(replica).crash()
+        self.injected.append(FaultEvent(self.runtime.sim.now, "crash",
+                                        replica=replica))
+
+    def recover_now(self, replica: int) -> None:
+        """Recover a replica immediately."""
+        self.runtime.replica(replica).recover()
+        self.injected.append(FaultEvent(self.runtime.sim.now, "recover",
+                                        replica=replica))
+
+    def isolate_now(self, replica: int) -> None:
+        """Partition one replica from every other node immediately."""
+        name = f"r{replica}"
+        for other in self.runtime.network.names:
+            if other != name:
+                self.runtime.network.partitions.block_pair(name, other)
+        self.injected.append(FaultEvent(self.runtime.sim.now, "partition",
+                                        pair=(name, "*")))
+
+    def heal_now(self, replica: int) -> None:
+        """Heal all partitions involving one replica immediately."""
+        self.runtime.network.partitions.heal_node(f"r{replica}")
+        self.injected.append(FaultEvent(self.runtime.sim.now, "heal",
+                                        pair=(f"r{replica}", "*")))

@@ -1,0 +1,17 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.harness.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    SweepPoint,
+)
+from repro.harness.configs import replica_placement_table
+from repro.harness.timeline import run_fault_timeline
+
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentResult",
+    "SweepPoint",
+    "replica_placement_table",
+    "run_fault_timeline",
+]

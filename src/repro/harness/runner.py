@@ -1,0 +1,151 @@
+"""Experiment runner: one run = (protocol, deployment, workload) -> metrics.
+
+``ExperimentRunner.run_point`` executes a single closed-loop benchmark and
+returns an :class:`ExperimentResult`; ``sweep_clients`` regenerates a
+latency-vs-throughput curve by increasing the number of closed-loop clients,
+exactly how the paper's Figures 7 and 10 are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.crypto.costs import CostModel
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.protocols.registry import build_cluster
+from repro.sim.core import Simulator
+from repro.smr.app import StateMachine
+from repro.smr.runtime import ClusterRuntime
+from repro.workloads.clients import ClosedLoopDriver
+
+
+@dataclass
+class ExperimentResult:
+    """Metrics of one benchmark run."""
+
+    protocol: str
+    num_clients: int
+    throughput_kops: float
+    mean_latency_ms: Optional[float]
+    p95_latency_ms: Optional[float]
+    committed: int
+    cpu_percent_most_loaded: float
+    cpu_by_replica: Dict[int, float] = field(default_factory=dict)
+    timeouts: int = 0
+
+    def __str__(self) -> str:
+        lat = (f"{self.mean_latency_ms:.1f}"
+               if self.mean_latency_ms is not None else "n/a")
+        return (f"{self.protocol:>8} clients={self.num_clients:>4} "
+                f"tput={self.throughput_kops:7.3f} kops/s "
+                f"lat={lat:>8} ms cpu={self.cpu_percent_most_loaded:6.1f}%")
+
+
+@dataclass
+class SweepPoint:
+    """One point of a latency-vs-throughput curve."""
+
+    num_clients: int
+    result: ExperimentResult
+
+
+class ExperimentRunner:
+    """Builds clusters and runs closed-loop benchmarks on them."""
+
+    def __init__(
+        self,
+        latency_factory: Optional[Callable[[int], LatencyModel]] = None,
+        bandwidth_factory: Optional[Callable[[], BandwidthModel]] = None,
+        cost_model: Optional[CostModel] = None,
+        app_factory: Optional[Callable[[], StateMachine]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.latency_factory = latency_factory or (
+            lambda seed: LatencyModel.ec2(seed=seed))
+        self.bandwidth_factory = bandwidth_factory or BandwidthModel
+        self.cost_model = cost_model or CostModel()
+        self.app_factory = app_factory
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def build(self, config: ClusterConfig,
+              workload: WorkloadConfig) -> ClusterRuntime:
+        """Assemble a cluster for one run."""
+        return build_cluster(
+            config,
+            num_clients=workload.num_clients,
+            app_factory=self.app_factory,
+            latency=self.latency_factory(self.seed + workload.seed),
+            bandwidth=self.bandwidth_factory(),
+            cost_model=self.cost_model,
+            client_site=workload.client_site,
+            seed=self.seed + workload.seed,
+        )
+
+    def run_point(self, config: ClusterConfig,
+                  workload: WorkloadConfig) -> ExperimentResult:
+        """Run one closed-loop benchmark and collect metrics."""
+        runtime = self.build(config, workload)
+        driver = ClosedLoopDriver(runtime, workload)
+        driver.run()
+        summary = driver.latency.summary()
+        elapsed = workload.duration_ms
+        cpu_by_replica = {
+            r.replica_id: r.cpu.utilisation_percent(elapsed)
+            for r in runtime.replicas
+        }
+        most_loaded = max(cpu_by_replica.values()) if cpu_by_replica else 0.0
+        timeouts = sum(getattr(c, "timeouts", 0) for c in runtime.clients)
+        return ExperimentResult(
+            protocol=config.protocol.value,
+            num_clients=workload.num_clients,
+            throughput_kops=driver.mean_throughput_kops(),
+            mean_latency_ms=summary.mean if summary else None,
+            p95_latency_ms=summary.p95 if summary else None,
+            committed=driver.throughput.total,
+            cpu_percent_most_loaded=most_loaded,
+            cpu_by_replica=cpu_by_replica,
+            timeouts=timeouts,
+        )
+
+    def sweep_clients(
+        self,
+        config: ClusterConfig,
+        client_counts: Sequence[int],
+        base_workload: WorkloadConfig,
+    ) -> List[SweepPoint]:
+        """Latency-vs-throughput curve: one run per client count."""
+        points = []
+        for count in client_counts:
+            workload = WorkloadConfig(
+                num_clients=count,
+                request_size=base_workload.request_size,
+                reply_size=base_workload.reply_size,
+                duration_ms=base_workload.duration_ms,
+                warmup_ms=base_workload.warmup_ms,
+                client_site=base_workload.client_site,
+                seed=base_workload.seed + count,
+            )
+            points.append(SweepPoint(count, self.run_point(config, workload)))
+        return points
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def peak_throughput(points: List[SweepPoint]) -> float:
+        """Highest mean throughput across a sweep (the 'peak' the paper
+        quotes when comparing protocols)."""
+        return max((p.result.throughput_kops for p in points), default=0.0)
+
+    @staticmethod
+    def format_curve(points: List[SweepPoint]) -> str:
+        """Plain-text rendering of a latency-vs-throughput curve."""
+        lines = [f"{'clients':>8} {'kops/s':>9} {'lat ms':>9}"]
+        for p in points:
+            lat = (f"{p.result.mean_latency_ms:9.1f}"
+                   if p.result.mean_latency_ms is not None else "      n/a")
+            lines.append(
+                f"{p.num_clients:>8} {p.result.throughput_kops:9.3f} {lat}")
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Message delivery: endpoints, sends, latency + bandwidth + partitions.
+
+The :class:`Network` connects named :class:`Endpoint` objects (replicas and
+clients).  A send samples a one-way delay from the latency model, adds the
+sender's uplink serialization delay for inter-site traffic, and schedules
+delivery unless the pair is partitioned or either end is crashed at delivery
+time.  Channels are reliable point-to-point (Section 2) -- no duplication,
+no corruption -- but unordered, like independent TCP connections racing.
+
+An optional FIFO mode delivers messages between each ordered pair in send
+order, which some baseline protocols (Zab) assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.net.partition import PartitionController
+from repro.sim.core import Simulator
+
+
+class Endpoint:
+    """A network-attached node: has a name, a site, and an inbox callback."""
+
+    def __init__(self, name: str, site: str,
+                 deliver: Callable[[str, Any], None],
+                 is_up: Callable[[], bool]) -> None:
+        self.name = name
+        self.site = site
+        self.deliver = deliver
+        self.is_up = is_up
+
+
+@dataclass
+class NetworkStats:
+    """Counters exposed for tests and the harness."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_partition: int = 0
+    messages_dropped_crash: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """The message fabric shared by one experiment.
+
+    Args:
+        sim: the discrete-event simulator driving delivery.
+        latency: one-way delay model between sites.
+        bandwidth: optional uplink model; None disables serialization delay
+            (unit tests).
+        fifo: deliver per ordered pair in send order.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        bandwidth: Optional[BandwidthModel] = None,
+        fifo: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.partitions = PartitionController()
+        self.fifo = fifo
+        self.stats = NetworkStats()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._last_delivery: Dict[tuple, float] = {}
+        #: Optional hook called as ``on_send(src, dst, payload) -> bool``;
+        #: returning False drops the message.  Used by adversarial tests to
+        #: delay or censor traffic.
+        self.send_filter: Optional[Callable[[str, str, Any], bool]] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, endpoint: Endpoint) -> None:
+        """Register an endpoint. Names must be unique."""
+        if endpoint.name in self._endpoints:
+            raise ConfigurationError(f"duplicate endpoint {endpoint.name}")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Look up an endpoint by name."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown endpoint {name}")
+
+    @property
+    def names(self) -> Iterable[str]:
+        """All registered endpoint names."""
+        return self._endpoints.keys()
+
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any,
+             size_bytes: int = 0) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        The partition check happens at *send* time (a blocked pair drops the
+        message), and crash checks happen at *delivery* time (a message to a
+        node that crashed mid-flight is lost).  Loopback sends are delivered
+        with intra-site latency so a node's self-messages still go through
+        the event queue (keeps handler re-entrancy simple).
+        """
+        source = self.endpoint(src)
+        target = self.endpoint(dst)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+
+        if not source.is_up():
+            # A crashed node cannot send; callers normally guard, but the
+            # fault injector can race a crash with an in-progress handler.
+            self.stats.messages_dropped_crash += 1
+            return
+        if self.partitions.blocked(src, dst):
+            self.stats.messages_dropped_partition += 1
+            return
+        if self.send_filter is not None and not self.send_filter(
+                src, dst, payload):
+            self.stats.messages_dropped_partition += 1
+            return
+
+        depart = self.sim.now
+        if (self.bandwidth is not None and size_bytes > 0
+                and source.site != target.site):
+            depart = self.bandwidth.serialize(src, size_bytes, self.sim.now)
+        delay = self.latency.sample_one_way(source.site, target.site,
+                                            now=depart)
+        arrival = depart + delay
+
+        if self.fifo:
+            key = (src, dst)
+            arrival = max(arrival, self._last_delivery.get(key, 0.0))
+            self._last_delivery[key] = arrival
+
+        def deliver() -> None:
+            if not target.is_up():
+                self.stats.messages_dropped_crash += 1
+                return
+            self.stats.messages_delivered += 1
+            target.deliver(src, payload)
+
+        self.sim.call_at(arrival, deliver, label=f"{src}->{dst}")
+
+    def broadcast(self, src: str, dsts: Iterable[str], payload: Any,
+                  size_bytes: int = 0) -> None:
+        """Send the same payload to every destination (skipping ``src``
+        duplicates is the caller's choice -- the paper's protocols sometimes
+        self-deliver)."""
+        for dst in dsts:
+            self.send(src, dst, payload, size_bytes=size_bytes)
+
+    # ------------------------------------------------------------------
+    def timely(self, a: str, b: str, delta_ms: float) -> bool:
+        """Can ``a`` and ``b`` currently exchange a message within Delta?
+
+        Used by the safety checker's anarchy predicate: a pair is timely if
+        it is not partitioned and the *mean* one-way delay is within Delta.
+        """
+        if self.partitions.blocked(a, b):
+            return False
+        ea, eb = self.endpoint(a), self.endpoint(b)
+        if not (ea.is_up() and eb.is_up()):
+            return False
+        return self.latency.mean_one_way(ea.site, eb.site) <= delta_ms

@@ -1,0 +1,260 @@
+"""Shared scaffolding for the leader-based baseline protocols.
+
+All four baselines (WAN-Paxos, speculative PBFT, Zyzzyva, Zab) share the
+same skeleton: a leader batches client requests (B = 20, Section 5.1.2),
+assigns sequence numbers, drives one protocol-specific ordering exchange,
+and replicas execute committed batches in order and reply to clients.  This
+module factors that skeleton so each baseline module only implements its
+ordering exchange -- which is exactly what differentiates them in the
+paper's Figure 6.
+
+The baselines authenticate with MACs only (no digital signatures), which is
+what makes their CPU profile differ from XPaxos in Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import ClusterConfig
+from repro.crypto.costs import CostModel
+from repro.crypto.primitives import Digest, KeyStore, digest_of
+from repro.net.network import Network
+from repro.sim.core import Simulator
+from repro.sim.process import Timer
+from repro.smr.app import StateMachine
+from repro.smr.log import CommitEntry, CommitLog
+from repro.smr.messages import Batch, Reply, Request
+from repro.smr.runtime import ReplicaBase, SmrClientBase
+
+
+@dataclass(frozen=True)
+class ClientRequestMsg:
+    """Client -> leader request envelope (MAC-authenticated channel)."""
+
+    request: Request
+
+
+@dataclass(frozen=True)
+class GenericReply:
+    """Replica -> client reply, protocol-agnostic."""
+
+    replica: int
+    view: int
+    seqno: int
+    timestamp: int
+    client: int
+    result: Any
+    result_digest: Digest
+    size_bytes: int = 0
+
+
+class BaselineReplica(ReplicaBase):
+    """Skeleton replica: batching at the leader + ordered execution.
+
+    Subclasses implement :meth:`propose_batch` (leader side) and their own
+    message handlers, calling :meth:`commit_batch` when a slot becomes
+    stable and :meth:`execute_ready` afterwards.
+    """
+
+    def __init__(self, replica_id: int, config: ClusterConfig,
+                 sim: Simulator, network: Network, keystore: KeyStore,
+                 app_factory: Callable[[], StateMachine], site: str,
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(replica_id, config, sim, network, keystore,
+                         app_factory, site, cost_model)
+        self.view = 0
+        self.sn = 0
+        self.ex = 0
+        self.commit_log = CommitLog()
+        self._pending_requests: List[Request] = []
+        self._batch_timer = Timer(self, self.flush_batch, "batch")
+        self._seen_requests: set = set()
+        self._last_reply: Dict[int, GenericReply] = {}
+        self.on_commit_batch: Optional[Callable[[int, Batch], None]] = None
+
+    # -- role -----------------------------------------------------------
+    @property
+    def leader_id(self) -> int:
+        """The current leader (static in the fault-free baselines)."""
+        assert self.config.n is not None
+        return self.view % self.config.n
+
+    @property
+    def is_leader(self) -> bool:
+        """Is this replica the leader of the current view?"""
+        return self.replica_id == self.leader_id
+
+    # -- batching at the leader ------------------------------------------
+    def receive_request(self, request: Request) -> None:
+        """Enqueue a client request for batching (leader only)."""
+        if not self.is_leader:
+            return
+        cached = self._last_reply.get(request.client)
+        if cached is not None and cached.timestamp >= request.timestamp:
+            if cached.timestamp == request.timestamp:
+                self.send(f"c{request.client}", cached,
+                          size_bytes=cached.size_bytes)
+            return
+        if request.rid in self._seen_requests:
+            return
+        self._seen_requests.add(request.rid)
+        self._pending_requests.append(request)
+        if len(self._pending_requests) >= self.config.batch_size:
+            self.flush_batch()
+        elif not self._batch_timer.armed:
+            self._batch_timer.start(self.config.batch_timeout_ms)
+
+    def flush_batch(self) -> None:
+        """Assign the next sequence number to a batch and propose it."""
+        self._batch_timer.stop()
+        if not self._pending_requests or not self.is_leader:
+            return
+        requests = tuple(self._pending_requests[: self.config.batch_size])
+        del self._pending_requests[: len(requests)]
+        batch = Batch(requests)
+        self.sn += 1
+        self.propose_batch(self.sn, batch)
+        if self._pending_requests:
+            self.sim.call_soon(self.flush_batch)
+
+    def propose_batch(self, seqno: int, batch: Batch) -> None:
+        """Protocol-specific ordering exchange. Subclasses implement."""
+        raise NotImplementedError
+
+    # -- commit and execution ---------------------------------------------
+    def commit_batch(self, seqno: int, batch: Batch) -> None:
+        """Record a stable slot and execute anything now contiguous."""
+        if seqno not in self.commit_log:
+            self.commit_log.put(
+                seqno, CommitEntry(seqno, self.view, batch, ()))
+        self.execute_ready()
+
+    def execute_ready(self) -> None:
+        """Execute committed batches in order; subclass hook for replies."""
+        while True:
+            entry = self.commit_log.get(self.ex + 1)
+            if entry is None:
+                return
+            seqno = self.ex + 1
+            results = []
+            for request in entry.batch:
+                results.append(self.app.execute(request.op))
+                self.execution_trace.append((seqno, request.rid))
+                self.committed_requests += 1
+            self.ex = seqno
+            if self.on_commit_batch is not None:
+                self.on_commit_batch(seqno, entry.batch)
+            self.after_execute(seqno, entry.batch, results)
+            if seqno % self.config.checkpoint_period == 0:
+                self.commit_log.truncate_to(
+                    seqno - self.config.checkpoint_period)
+
+    def after_execute(self, seqno: int, batch: Batch,
+                      results: List[Any]) -> None:
+        """Called once per executed batch. Default: no-op."""
+
+    def reply_to_clients(self, seqno: int, batch: Batch,
+                         results: List[Any]) -> None:
+        """Send one MAC-authenticated reply per request in the batch."""
+        for request, result in zip(batch, results):
+            self.cpu.charge_mac(64)
+            reply = GenericReply(
+                replica=self.replica_id, view=self.view, seqno=seqno,
+                timestamp=request.timestamp, client=request.client,
+                result=result, result_digest=digest_of(result),
+                size_bytes=0)
+            self._last_reply[request.client] = reply
+            self.send(f"c{request.client}", reply,
+                      size_bytes=reply.size_bytes)
+
+    def batch_digest(self, batch: Batch) -> Digest:
+        """Digest over the signed request bodies of a batch, charging CPU."""
+        self.cpu.charge_digest(batch.size_bytes)
+        return digest_of(tuple(r.body() for r in batch))
+
+
+class QuorumClient(SmrClientBase):
+    """Closed-loop client that commits on ``reply_quorum`` matching replies.
+
+    ``reply_quorum = 1`` models CFT protocols where the leader's reply is
+    authoritative (Paxos, Zab); BFT protocols need ``t + 1`` matching
+    (PBFT) or all ``3t + 1`` speculative replies (Zyzzyva's fast path).
+    """
+
+    def __init__(self, client_id: int, config: ClusterConfig,
+                 sim: Simulator, network: Network, keystore: KeyStore,
+                 site: str, reply_quorum: int,
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(client_id, config, sim, network, keystore, site,
+                         cost_model)
+        if reply_quorum < 1:
+            raise ValueError("reply_quorum must be >= 1")
+        self.reply_quorum = reply_quorum
+        self.view = 0
+        self._request: Optional[Request] = None
+        self._sent_at = 0.0
+        self._replies: Dict[int, GenericReply] = {}
+        self._timer = Timer(self, self._on_timeout, "timer_c")
+        self.on_result: Optional[Callable[[Any], None]] = None
+        self.timeouts = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while a request is in flight."""
+        return self._request is not None
+
+    def leader_name(self) -> str:
+        """Network name of the node the client sends to."""
+        assert self.config.n is not None
+        return f"r{self.view % self.config.n}"
+
+    def propose(self, op: Any, size_bytes: int = 0) -> Request:
+        """Invoke one operation (closed loop)."""
+        if self._request is not None:
+            raise RuntimeError(
+                f"client {self.client_id} already has a request in flight")
+        ts = self.next_timestamp()
+        self.cpu.charge_mac(size_bytes)
+        request = Request(op=op, timestamp=ts, client=self.client_id,
+                          size_bytes=size_bytes, signature=None)
+        self._request = request
+        self._sent_at = self.sim.now
+        self._replies.clear()
+        self.send(self.leader_name(), ClientRequestMsg(request),
+                  size_bytes=size_bytes)
+        self._timer.start(self.config.request_retransmit_ms)
+        return request
+
+    def on_message(self, src: str, payload: Any) -> None:
+        if not isinstance(payload, GenericReply):
+            return
+        request = self._request
+        if request is None or payload.timestamp != request.timestamp:
+            return
+        self.cpu.charge_mac(64)
+        self._replies[payload.replica] = payload
+        matching = [r for r in self._replies.values()
+                    if (r.seqno, r.result_digest) == (payload.seqno,
+                                                      payload.result_digest)]
+        if len(matching) >= self.reply_quorum:
+            full = next((r.result for r in matching
+                         if r.result is not None), matching[0].result)
+            self._request = None
+            self._timer.stop()
+            self.record_completion(request.rid, self._sent_at)
+            if self.on_result is not None:
+                self.on_result(full)
+
+    def _on_timeout(self) -> None:
+        request = self._request
+        if request is None:
+            return
+        self.timeouts += 1
+        # Re-send to every replica; the leader deduplicates.
+        assert self.config.n is not None
+        for replica in range(self.config.n):
+            self.send(f"r{replica}", ClientRequestMsg(request),
+                      size_bytes=request.size_bytes)
+        self._timer.start(self.config.request_retransmit_ms)

@@ -1,0 +1,14 @@
+"""Paxos client: the leader's reply is authoritative (CFT)."""
+
+from __future__ import annotations
+
+from repro.protocols.base import QuorumClient
+
+
+class PaxosClient(QuorumClient):
+    """Closed-loop client committing on the leader's single reply."""
+
+    def __init__(self, client_id, config, sim, network, keystore, site,
+                 cost_model=None) -> None:
+        super().__init__(client_id, config, sim, network, keystore, site,
+                         reply_quorum=1, cost_model=cost_model)

@@ -1,0 +1,291 @@
+"""WAN-optimized multi-Paxos replica (Figure 6c).
+
+The paper compares against "a very efficient WAN-optimized variant of
+crash-tolerant Paxos inspired by [Megastore, MDCC, Spanner]" that
+"requires 2t + 1 replicas to tolerate t faults, but involves t + 1 replicas
+in the common case, i.e., just like XPaxos" (Section 5.1.2).
+
+Common case for a stable leader (phase 2 only):
+
+1. client -> leader: request;
+2. leader -> the ``t`` common-case acceptors: ``ACCEPT(ballot, sn, batch)``;
+3. acceptor -> leader: ``ACCEPTED(sn)``;
+4. once all ``t`` acceptors answered (leader + t = majority of 2t+1), the
+   leader commits, executes, replies to the client, and lazily propagates
+   the decision to the remaining ``t`` replicas.
+
+Leader failover (phase 1) is implemented so the baseline survives leader
+crashes: a non-leader that sees client requests stall starts an election
+timer; on expiry it advances the ballot, broadcasts ``NEW-BALLOT``, gathers
+a majority of ``PROMISE`` messages carrying accepted entries, re-proposes
+the merged log, and resumes the common case.
+
+Only MACs are used -- crash faults cannot forge messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.crypto.primitives import Digest
+from repro.protocols.base import BaselineReplica, ClientRequestMsg
+from repro.sim.process import Timer
+from repro.smr.messages import Batch
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Leader -> acceptor: order ``batch`` at ``seqno`` (phase 2a)."""
+
+    view: int
+    seqno: int
+    batch: Batch
+    batch_digest: Digest
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Acceptor -> leader: phase-2b acknowledgement."""
+
+    view: int
+    seqno: int
+    batch_digest: Digest
+    sender: int
+
+
+@dataclass(frozen=True)
+class Learn:
+    """Leader -> passive replicas: the decided batch (lazy propagation)."""
+
+    view: int
+    seqno: int
+    batch: Batch
+
+
+@dataclass(frozen=True)
+class NewBallot:
+    """Prospective leader -> all: phase 1a for ballot ``view``."""
+
+    view: int
+    sender: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Replica -> prospective leader: phase 1b.
+
+    Carries the replica's accepted-but-possibly-undecided entries as
+    ``(seqno, accepted_ballot, batch)`` tuples plus its execution horizon.
+    """
+
+    view: int
+    sender: int
+    entries: Tuple[Tuple[int, int, Batch], ...]
+    executed_upto: int
+
+
+class PaxosReplica(BaselineReplica):
+    """One replica of the WAN-optimized Paxos deployment."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._acks: Dict[int, Set[int]] = {}
+        self._proposed: Dict[int, Batch] = {}
+        # Accepted-but-undecided state kept for failover re-proposal:
+        # seqno -> (ballot, batch).
+        self._accepted: Dict[int, Tuple[int, Batch]] = {}
+        # Election state.
+        self._election_timer = Timer(self, self._on_election_timeout,
+                                     "election")
+        self._promises: Dict[int, Promise] = {}
+        self._pending_ballot: Optional[int] = None
+        self.elections_started = 0
+
+    # -- roles ------------------------------------------------------------
+    def common_case_acceptors(self) -> List[int]:
+        """The ``t`` acceptors contacted in the common case: the lowest
+        replica ids after the leader (the paper places them in the closest
+        datacenters, which the site layout reflects)."""
+        assert self.config.n is not None
+        others = [r for r in range(self.config.n) if r != self.leader_id]
+        return others[: self.config.t]
+
+    def passive_ids(self) -> List[int]:
+        """Replicas outside the common case (learn lazily)."""
+        assert self.config.n is not None
+        active = {self.leader_id, *self.common_case_acceptors()}
+        return [r for r in range(self.config.n) if r not in active]
+
+    # -- message handling ---------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, ClientRequestMsg):
+            self._on_client_request(payload)
+        elif isinstance(payload, Accept):
+            self._on_accept(src, payload)
+        elif isinstance(payload, Accepted):
+            self._on_accepted(payload)
+        elif isinstance(payload, Learn):
+            self._on_learn(payload)
+        elif isinstance(payload, NewBallot):
+            self._on_new_ballot(payload)
+        elif isinstance(payload, Promise):
+            self._on_promise(payload)
+
+    def _on_client_request(self, m: ClientRequestMsg) -> None:
+        if self.is_leader:
+            self.receive_request(m.request)
+            return
+        # A client retried against a non-leader: the leader may be down.
+        # Arm the election timer; cancel it if the request commits.
+        cached = self._last_reply.get(m.request.client)
+        if cached is not None and cached.timestamp >= m.request.timestamp:
+            if cached.timestamp == m.request.timestamp:
+                self.send(f"c{m.request.client}", cached)
+            return
+        self.send(f"r{self.leader_id}", m,
+                  size_bytes=m.request.size_bytes)
+        if not self._election_timer.armed:
+            self._election_timer.start(self.config.request_retransmit_ms)
+
+    # -- phase 2 (common case) ---------------------------------------------
+    def propose_batch(self, seqno: int, batch: Batch) -> None:
+        digest = self.batch_digest(batch)
+        self._proposed[seqno] = batch
+        self._acks[seqno] = set()
+        accept = Accept(self.view, seqno, batch, digest)
+        for acceptor in self.common_case_acceptors():
+            self.cpu.charge_mac(batch.size_bytes)
+            self.send(f"r{acceptor}", accept, size_bytes=batch.size_bytes)
+
+    def _on_accept(self, src: str, m: Accept) -> None:
+        if m.view < self.view:
+            return  # stale ballot
+        if m.view > self.view:
+            self.view = m.view  # adopt the higher ballot
+        self.cpu.charge_mac(m.batch.size_bytes)
+        self._accepted[m.seqno] = (m.view, m.batch)
+        self._election_timer.stop()
+        # Acceptors execute on accept: the stable leader's order is
+        # authoritative in the common case.
+        self.commit_batch(m.seqno, m.batch)
+        self.send(f"r{self.leader_id}",
+                  Accepted(m.view, m.seqno, m.batch_digest, self.replica_id),
+                  size_bytes=48)
+
+    def _on_accepted(self, m: Accepted) -> None:
+        if m.view != self.view or not self.is_leader:
+            return
+        self.cpu.charge_mac(48)
+        acks = self._acks.get(m.seqno)
+        if acks is None:
+            return
+        acks.add(m.sender)
+        if len(acks) >= self.config.t:  # leader + t = majority
+            batch = self._proposed.pop(m.seqno, None)
+            self._acks.pop(m.seqno, None)
+            if batch is None:
+                return
+            self.commit_batch(m.seqno, batch)
+            learn = Learn(self.view, m.seqno, batch)
+            for passive in self.passive_ids():
+                self.cpu.charge_mac(batch.size_bytes)
+                self.send(f"r{passive}", learn,
+                          size_bytes=batch.size_bytes)
+
+    def _on_learn(self, m: Learn) -> None:
+        self.cpu.charge_mac(m.batch.size_bytes)
+        self._accepted[m.seqno] = (m.view, m.batch)
+        self.commit_batch(m.seqno, m.batch)
+
+    def after_execute(self, seqno: int, batch: Batch,
+                      results: List[Any]) -> None:
+        # Only the leader answers clients (CFT: one reply suffices), but
+        # every replica caches its replies for dedup and failover.
+        self._election_timer.stop()
+        if self.is_leader:
+            self.reply_to_clients(seqno, batch, results)
+        else:
+            from repro.crypto.primitives import digest_of
+            from repro.protocols.base import GenericReply
+
+            for request, result in zip(batch, results):
+                self._last_reply[request.client] = GenericReply(
+                    replica=self.replica_id, view=self.view, seqno=seqno,
+                    timestamp=request.timestamp, client=request.client,
+                    result=result, result_digest=digest_of(result))
+
+    # -- phase 1 (leader failover) -------------------------------------------
+    def _on_election_timeout(self) -> None:
+        """The leader did not commit a retried request in time: campaign
+        for the next ballot whose leader is this replica."""
+        assert self.config.n is not None
+        ballot = self.view + 1
+        while ballot % self.config.n != self.replica_id:
+            ballot += 1
+        self.elections_started += 1
+        self._pending_ballot = ballot
+        self._promises = {}
+        message = NewBallot(ballot, self.replica_id)
+        for replica in range(self.config.n):
+            if replica == self.replica_id:
+                self._on_new_ballot(message)
+            else:
+                self.cpu.charge_mac(32)
+                self.send(f"r{replica}", message, size_bytes=32)
+        # If the campaign stalls (e.g. competing ballots), try again.
+        self._election_timer.start(2 * self.config.request_retransmit_ms)
+
+    def _on_new_ballot(self, m: NewBallot) -> None:
+        if m.view <= self.view and m.sender != self.replica_id:
+            return  # stale campaign
+        if m.view > self.view:
+            self.view = m.view
+            self._batch_timer.stop()
+            self._proposed.clear()
+            self._acks.clear()
+        # Ship every retained accepted entry: the new leader's merge picks
+        # the highest-ballot value per slot and discards what it already
+        # executed, so over-reporting is safe and simplest.
+        entries = tuple(
+            (seqno, ballot, batch)
+            for seqno, (ballot, batch) in sorted(self._accepted.items()))
+        promise = Promise(m.view, self.replica_id, entries, self.ex)
+        if m.sender == self.replica_id:
+            self._on_promise(promise)
+        else:
+            self.cpu.charge_mac(128)
+            self.send(f"r{m.sender}", promise, size_bytes=256)
+
+    def _on_promise(self, m: Promise) -> None:
+        if self._pending_ballot is None or m.view != self._pending_ballot:
+            return
+        self._promises[m.sender] = m
+        if len(self._promises) < self.config.quorum:
+            return
+        # Majority promised: become leader of the new ballot.
+        ballot = self._pending_ballot
+        self._pending_ballot = None
+        self.view = ballot
+        self._election_timer.stop()
+        # Merge: per slot, the entry accepted at the highest ballot wins.
+        merged: Dict[int, Tuple[int, Batch]] = {}
+        for promise in self._promises.values():
+            for seqno, accepted_ballot, batch in promise.entries:
+                current = merged.get(seqno)
+                if current is None or accepted_ballot > current[0]:
+                    merged[seqno] = (accepted_ballot, batch)
+        self._promises = {}
+        # Re-propose merged entries above our execution horizon, then
+        # resume normal operation; sequence numbering continues after the
+        # highest merged slot.
+        highest = max(merged, default=self.ex)
+        self.sn = max(self.sn, highest, self.ex)
+        for seqno in sorted(merged):
+            if seqno <= self.ex and seqno in self.commit_log:
+                continue
+            _, batch = merged[seqno]
+            self.propose_batch(seqno, batch)
+        # Requests queued while campaigning flow through flush_batch.
+        if self._pending_requests:
+            self.sim.call_soon(self.flush_batch)

@@ -1,0 +1,14 @@
+"""PBFT client: commits on t + 1 matching replies."""
+
+from __future__ import annotations
+
+from repro.protocols.base import QuorumClient
+
+
+class PbftClient(QuorumClient):
+    """Closed-loop client committing on ``t + 1`` matching replies."""
+
+    def __init__(self, client_id, config, sim, network, keystore, site,
+                 cost_model=None) -> None:
+        super().__init__(client_id, config, sim, network, keystore, site,
+                         reply_quorum=config.t + 1, cost_model=cost_model)

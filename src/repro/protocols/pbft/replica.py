@@ -1,0 +1,132 @@
+"""Speculative PBFT replica (Figure 6a).
+
+The paper uses "a speculative variant of [PBFT] that relies on a 2-phase
+common-case commit protocol across only 2t + 1 replicas" out of the 3t + 1
+total; "the remaining t replicas are not involved in the common case"
+(Section 5.1.2).
+
+Common case:
+
+1. client -> primary: request;
+2. primary -> the 2t other *active* replicas: ``PRE-PREPARE(sn, batch)``;
+3. every active replica -> every active replica: ``COMMIT(sn, D(batch))``;
+4. an active replica completes the slot on 2t + 1 matching commits
+   (including its own) and replies to the client;
+5. the client commits on t + 1 matching replies.
+
+Authentication is MAC-based, as in PBFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set
+
+from repro.crypto.primitives import Digest
+from repro.protocols.base import BaselineReplica, ClientRequestMsg
+from repro.smr.messages import Batch
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary -> active replicas: speculative ordering of a batch."""
+
+    view: int
+    seqno: int
+    batch: Batch
+    batch_digest: Digest
+
+
+@dataclass(frozen=True)
+class CommitMsg:
+    """Active replica -> active replicas: second-phase vote."""
+
+    view: int
+    seqno: int
+    batch_digest: Digest
+    sender: int
+
+
+class PbftReplica(BaselineReplica):
+    """One replica of the speculative PBFT deployment (n = 3t + 1)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._batches: Dict[int, Batch] = {}
+        self._votes: Dict[int, Set[int]] = {}
+        self._digests: Dict[int, Digest] = {}
+
+    # -- roles ------------------------------------------------------------
+    def active_ids(self) -> List[int]:
+        """The 2t + 1 replicas involved in the common case."""
+        assert self.config.n is not None
+        return list(range(2 * self.config.t + 1))
+
+    @property
+    def is_active(self) -> bool:
+        """Is this replica in the common-case quorum?"""
+        return self.replica_id in self.active_ids()
+
+    # -- message handling ---------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, ClientRequestMsg):
+            self.receive_request(payload.request)
+        elif isinstance(payload, PrePrepare):
+            self._on_pre_prepare(src, payload)
+        elif isinstance(payload, CommitMsg):
+            self._on_commit(payload)
+
+    def propose_batch(self, seqno: int, batch: Batch) -> None:
+        digest = self.batch_digest(batch)
+        self._batches[seqno] = batch
+        self._digests[seqno] = digest
+        pre_prepare = PrePrepare(self.view, seqno, batch, digest)
+        for active in self.active_ids():
+            if active == self.replica_id:
+                continue
+            self.cpu.charge_mac(batch.size_bytes)
+            self.send(f"r{active}", pre_prepare,
+                      size_bytes=batch.size_bytes)
+        self._vote(seqno, digest)
+
+    def _on_pre_prepare(self, src: str, m: PrePrepare) -> None:
+        if m.view != self.view or not self.is_active or self.is_leader:
+            return
+        self.cpu.charge_mac(m.batch.size_bytes)
+        self._batches[m.seqno] = m.batch
+        self._digests[m.seqno] = m.batch_digest
+        self._vote(m.seqno, m.batch_digest)
+
+    def _vote(self, seqno: int, digest: Digest) -> None:
+        vote = CommitMsg(self.view, seqno, digest, self.replica_id)
+        for active in self.active_ids():
+            if active == self.replica_id:
+                self._record_vote(vote)
+            else:
+                self.cpu.charge_mac(48)
+                self.send(f"r{active}", vote, size_bytes=48)
+
+    def _on_commit(self, m: CommitMsg) -> None:
+        if m.view != self.view or not self.is_active:
+            return
+        self.cpu.charge_mac(48)
+        self._record_vote(m)
+
+    def _record_vote(self, m: CommitMsg) -> None:
+        expected = self._digests.get(m.seqno)
+        if expected is not None and m.batch_digest != expected:
+            return  # equivocation; the full protocol would view-change
+        votes = self._votes.setdefault(m.seqno, set())
+        votes.add(m.sender)
+        quorum = 2 * self.config.t + 1
+        if len(votes) >= quorum and m.seqno in self._batches:
+            batch = self._batches.pop(m.seqno)
+            self._votes.pop(m.seqno, None)
+            self._digests.pop(m.seqno, None)
+            self.commit_batch(m.seqno, batch)
+
+    def after_execute(self, seqno: int, batch: Batch,
+                      results: List[Any]) -> None:
+        # Every active replica replies; the client needs t + 1 matching.
+        if self.is_active:
+            self.reply_to_clients(seqno, batch, results)

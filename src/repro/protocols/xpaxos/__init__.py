@@ -1,0 +1,21 @@
+"""XPaxos: the first XFT state-machine-replication protocol (Section 4).
+
+Components:
+
+* :mod:`repro.protocols.xpaxos.groups` -- the view-to-synchronous-group
+  mapping (Section 4.3.1, generalizing Table 2).
+* :mod:`repro.protocols.xpaxos.messages` -- every wire message of the
+  protocol (common case, view change, fault detection, checkpointing,
+  lazy replication, retransmission).
+* :mod:`repro.protocols.xpaxos.replica` -- Algorithms 1-5: the replica.
+* :mod:`repro.protocols.xpaxos.client` -- signed requests, the commit rule,
+  and the retransmission protocol of Algorithm 4.
+* :mod:`repro.protocols.xpaxos.detection` -- Algorithm 6's fault-detection
+  predicates (state-loss, fork-I, fork-II).
+"""
+
+from repro.protocols.xpaxos.groups import SynchronousGroups
+from repro.protocols.xpaxos.client import XPaxosClient
+from repro.protocols.xpaxos.replica import XPaxosReplica
+
+__all__ = ["SynchronousGroups", "XPaxosReplica", "XPaxosClient"]

@@ -1,0 +1,230 @@
+"""The XPaxos client: signed requests, the commit rule, retransmission.
+
+Commit rules (Section 4.2):
+
+* ``t = 1``: the client receives a single reply from the primary that embeds
+  the follower's signed commit ``m1``; it commits when the MAC verifies, the
+  follower's signature verifies, and all digests match -- two attestations
+  in one message.
+* ``t >= 2``: the client commits on ``t + 1`` matching replies, one from
+  each active replica (the primary's carries the full result, followers'
+  carry digests).
+
+On timeout the client runs Algorithm 4: broadcast ``RE-SEND`` to all active
+replicas, accept a ``SIGNED-REPLIES`` bundle with ``t + 1`` signed replies,
+and follow ``SUSPECT`` messages into the next view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.config import ClusterConfig
+from repro.crypto.costs import CostModel
+from repro.crypto.primitives import KeyStore, digest_of, replica_principal
+from repro.net.network import Network
+from repro.protocols.xpaxos import messages as msg
+from repro.protocols.xpaxos.groups import SynchronousGroups
+from repro.sim.core import Simulator
+from repro.sim.process import Timer
+from repro.smr.messages import Request
+from repro.smr.runtime import SmrClientBase
+
+
+@dataclass
+class _Outstanding:
+    """State of the client's single in-flight request (closed loop)."""
+
+    request: Request
+    sent_at: float
+    replies: Dict[int, msg.ReplyMsg] = field(default_factory=dict)
+    result: Any = None
+    retries: int = 0
+
+
+class XPaxosClient(SmrClientBase):
+    """A closed-loop XPaxos client."""
+
+    def __init__(self, client_id: int, config: ClusterConfig,
+                 sim: Simulator, network: Network, keystore: KeyStore,
+                 site: str, cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(client_id, config, sim, network, keystore, site,
+                         cost_model)
+        assert config.n is not None
+        self.groups = SynchronousGroups(config.n, config.t)
+        self.view = 0
+        self._outstanding: Optional[_Outstanding] = None
+        self._timer = Timer(self, self._on_timeout, "timer_c")
+        #: Called with the committed result when the in-flight op finishes.
+        self.on_result: Optional[Callable[[Any], None]] = None
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    def propose(self, op: Any, size_bytes: int = 0) -> Request:
+        """Invoke one operation (the client must be idle -- closed loop)."""
+        if self._outstanding is not None:
+            raise RuntimeError(
+                f"client {self.client_id} already has a request in flight")
+        ts = self.next_timestamp()
+        body = (op, ts, self.client_id)
+        sig = self.sign(body)
+        request = Request(op=op, timestamp=ts, client=self.client_id,
+                          size_bytes=size_bytes, signature=sig)
+        self._outstanding = _Outstanding(request=request, sent_at=self.sim.now)
+        primary = self.groups.primary(self.view)
+        self.send(f"r{primary}", msg.Replicate(request),
+                  size_bytes=size_bytes)
+        self._timer.start(self.config.request_retransmit_ms)
+        return request
+
+    @property
+    def busy(self) -> bool:
+        """True while a request is in flight."""
+        return self._outstanding is not None
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, msg.ReplyMsg):
+            self._on_reply(payload)
+        elif isinstance(payload, msg.SignedReplies):
+            self._on_signed_replies(payload)
+        elif isinstance(payload, msg.Suspect):
+            self._on_suspect(payload)
+
+    def _on_reply(self, reply: msg.ReplyMsg) -> None:
+        out = self._outstanding
+        if out is None or reply.timestamp != out.request.timestamp:
+            return
+        body = (reply.replica, reply.view, reply.seqno, reply.timestamp,
+                reply.client, reply.result_digest)
+        self.cpu.charge_mac(64)
+        if not self.keystore.verify_mac(reply.mac, body):
+            return
+        if reply.view > self.view:
+            self.view = reply.view
+
+        if self.config.t == 1:
+            self._fast_commit_rule(reply)
+        else:
+            out.replies[reply.replica] = reply
+            self._general_commit_rule(reply)
+
+    def _fast_commit_rule(self, reply: msg.ReplyMsg) -> None:
+        """t = 1: one primary reply embedding the follower's m1."""
+        out = self._outstanding
+        assert out is not None
+        fc = reply.follower_commit
+        if fc is None:
+            return
+        follower = self.groups.followers(reply.view)[0]
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                fc.m1, msg.commit1_payload(fc.batch_digest, fc.seqno,
+                                           fc.view, fc.reply_digest)) \
+                or fc.m1.signer != replica_principal(follower):
+            return
+        if fc.view != reply.view or fc.seqno != reply.seqno:
+            return
+        if digest_of(reply.result) != reply.result_digest:
+            return
+        self._commit(reply.result)
+
+    def _general_commit_rule(self, reply: msg.ReplyMsg) -> None:
+        """t >= 2: t+1 matching replies from all active replicas."""
+        out = self._outstanding
+        assert out is not None
+        active = set(self.groups.group(reply.view))
+        matching = [r for r in out.replies.values()
+                    if r.view == reply.view and r.seqno == reply.seqno
+                    and r.result_digest == reply.result_digest
+                    and r.replica in active]
+        if len(matching) < self.config.t + 1:
+            return
+        full = next((r.result for r in matching if r.result is not None),
+                    None)
+        if full is None:
+            return  # need at least the primary's full result
+        if digest_of(full) != reply.result_digest:
+            return
+        self._commit(full)
+
+    def _on_signed_replies(self, bundle: msg.SignedReplies) -> None:
+        """Retransmission answer: t+1 signed replies (Algorithm 4)."""
+        out = self._outstanding
+        if out is None:
+            return
+        shares = [s for s in bundle.shares
+                  if s.timestamp == out.request.timestamp
+                  and s.client == self.client_id]
+        if len(shares) < self.config.t + 1:
+            return
+        reference = shares[0]
+        for share in shares:
+            if (share.seqno, share.reply_digest) != (
+                    reference.seqno, reference.reply_digest):
+                return
+            self.cpu.charge_verify()
+            if not self.keystore.verify(
+                    share.sig,
+                    msg.signed_reply_payload(share.seqno, share.view,
+                                             share.timestamp, share.client,
+                                             share.reply_digest,
+                                             share.sender)):
+                return
+        full = next((s.result for s in shares if s.result is not None), None)
+        if bundle.view > self.view:
+            self.view = bundle.view
+        self._commit(full)
+
+    def _on_suspect(self, suspect: msg.Suspect) -> None:
+        """Algorithm 4 lines 11-15: follow the view change."""
+        if suspect.view < self.view:
+            return
+        if not self.groups.is_active(suspect.view, suspect.sender):
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                suspect.sig,
+                msg.suspect_payload(suspect.view, suspect.sender)):
+            return
+        self.view = suspect.view + 1
+        out = self._outstanding
+        if out is None:
+            return
+        # Forward the suspicion to the new actives and re-send the request.
+        for replica in self.groups.group(self.view):
+            self.send(f"r{replica}", suspect, size_bytes=48)
+        primary = self.groups.primary(self.view)
+        self.send(f"r{primary}", msg.Replicate(out.request),
+                  size_bytes=out.request.size_bytes)
+        self._timer.start(self.config.request_retransmit_ms)
+
+    # ------------------------------------------------------------------
+    def _commit(self, result: Any) -> None:
+        out = self._outstanding
+        assert out is not None
+        self._outstanding = None
+        self._timer.stop()
+        self.record_completion(out.request.rid, out.sent_at)
+        if self.on_result is not None:
+            self.on_result(result)
+
+    def _on_timeout(self) -> None:
+        """Client timer expiry: broadcast RE-SEND to all actives.
+
+        The retry timer backs off exponentially (capped): during a view
+        change the request cannot commit anyway, and re-sending faster than
+        the view-change period only feeds the suspicion cascade.
+        """
+        out = self._outstanding
+        if out is None:
+            return
+        self.timeouts += 1
+        out.retries += 1
+        for replica in self.groups.group(self.view):
+            self.send(f"r{replica}", msg.ReSend(out.request),
+                      size_bytes=out.request.size_bytes)
+        backoff = (2.0 if out.retries > 1 else 1.0) \
+            * self.config.request_retransmit_ms
+        self._timer.start(backoff)

@@ -1,0 +1,173 @@
+"""Synchronous-group selection (Section 4.3.1).
+
+Every view number ``i`` deterministically maps to a *synchronous group*
+``sg_i`` of ``t + 1`` active replicas (one primary + ``t`` followers); the
+remaining ``t`` replicas are passive.  The paper enumerates all
+``C(2t+1, t+1)`` subsets and rotates through them round-robin, so that
+"eventually, view change in XPaxos will complete with t + 1 correct and
+synchronous active replicas" (Section 4.6, availability).
+
+For ``t = 1`` this reproduces Table 2 exactly:
+
+====================  =====  ======  ======
+view (mod 3)            i     i + 1   i + 2
+====================  =====  ======  ======
+primary                s0     s0      s1
+follower               s1     s2      s2
+passive                s2     s1      s0
+====================  =====  ======  ======
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+class SynchronousGroups:
+    """The deterministic ``view -> synchronous group`` mapping.
+
+    The combination list is ordered lexicographically, and within a group
+    the lowest replica id is the primary -- the convention that makes the
+    ``t = 1`` rotation match the paper's Table 2.
+    """
+
+    def __init__(self, n: int, t: int) -> None:
+        if n != 2 * t + 1:
+            raise ConfigurationError(
+                f"XPaxos requires n = 2t+1; got n={n}, t={t}"
+            )
+        self.n = n
+        self.t = t
+        self._groups: List[Tuple[int, ...]] = [
+            combo for combo in itertools.combinations(range(n), t + 1)
+        ]
+
+    @property
+    def group_count(self) -> int:
+        """Number of distinct synchronous groups, ``C(2t+1, t+1)``."""
+        return len(self._groups)
+
+    def group(self, view: int) -> Tuple[int, ...]:
+        """Active replicas (sorted ids) of view ``view``."""
+        if view < 0:
+            raise ValueError(f"view must be >= 0, got {view}")
+        return self._groups[view % len(self._groups)]
+
+    def primary(self, view: int) -> int:
+        """The primary of view ``view`` (lowest id in the group)."""
+        return self.group(view)[0]
+
+    def followers(self, view: int) -> Tuple[int, ...]:
+        """The ``t`` followers of view ``view``."""
+        return self.group(view)[1:]
+
+    def passive(self, view: int) -> Tuple[int, ...]:
+        """The ``t`` passive replicas of view ``view``."""
+        active = set(self.group(view))
+        return tuple(r for r in range(self.n) if r not in active)
+
+    def is_active(self, view: int, replica: int) -> bool:
+        """Is ``replica`` in the synchronous group of ``view``?"""
+        return replica in self.group(view)
+
+    def is_primary(self, view: int, replica: int) -> bool:
+        """Is ``replica`` the primary of ``view``?"""
+        return replica == self.primary(view)
+
+    def next_view_with_group(self, after_view: int,
+                             group: Sequence[int]) -> int:
+        """Smallest view strictly after ``after_view`` whose synchronous
+        group equals ``group`` (used by availability tests)."""
+        target = tuple(sorted(group))
+        if target not in self._groups:
+            raise ValueError(f"{group} is not a valid synchronous group")
+        index = self._groups.index(target)
+        cycle = len(self._groups)
+        base = (after_view // cycle) * cycle + index
+        while base <= after_view:
+            base += cycle
+        return base
+
+
+class LeaderRotationGroups:
+    """The paper's sketched alternative for large clusters (Section 4.3.1).
+
+    "For a large number of replicas, the combinatorial number of
+    synchronous groups may be inefficient.  To this end, XPaxos can be
+    modified to rotate only the leader, which may then resort to
+    deterministic verifiable pseudorandom selection of the set of f
+    followers in each view."
+
+    The primary of view ``i`` is ``i mod n``; the ``t`` followers are
+    drawn from the remaining replicas by a deterministic PRF over
+    ``(seed, view)`` that every replica can recompute and verify.  The
+    scheme keeps the properties the view change relies on:
+
+    * the mapping is a pure function of the view number (all replicas
+      agree without communication);
+    * every replica is the primary infinitely often; and
+    * every replica appears as a follower with frequency ~t/(n-1), so a
+      correct synchronous group recurs with bounded expected wait.
+    """
+
+    def __init__(self, n: int, t: int, seed: int = 0) -> None:
+        if n != 2 * t + 1:
+            raise ConfigurationError(
+                f"XPaxos requires n = 2t+1; got n={n}, t={t}"
+            )
+        self.n = n
+        self.t = t
+        self.seed = seed
+
+    @property
+    def group_count(self) -> int:
+        """Distinct (primary, follower-set) pairs is unbounded in view
+        space; the rotation period of the *primary* is ``n``."""
+        return self.n
+
+    def primary(self, view: int) -> int:
+        """Round-robin leader rotation."""
+        if view < 0:
+            raise ValueError(f"view must be >= 0, got {view}")
+        return view % self.n
+
+    def followers(self, view: int) -> Tuple[int, ...]:
+        """The ``t`` pseudorandomly selected followers of ``view``.
+
+        Selection is a Fisher-Yates prefix over the non-primary replicas,
+        driven by SHA-256 of ``(seed, view)`` -- deterministic, uniform,
+        and verifiable by any replica.
+        """
+        import hashlib
+
+        primary = self.primary(view)
+        candidates = [r for r in range(self.n) if r != primary]
+        digest = hashlib.sha256(
+            f"{self.seed}/{view}".encode()).digest()
+        state = int.from_bytes(digest, "big")
+        chosen = []
+        for slot in range(self.t):
+            index = state % len(candidates)
+            state //= max(len(candidates), 1)
+            chosen.append(candidates.pop(index))
+        return tuple(sorted(chosen))
+
+    def group(self, view: int) -> Tuple[int, ...]:
+        """Active replicas (sorted ids) of ``view``."""
+        return tuple(sorted((self.primary(view), *self.followers(view))))
+
+    def passive(self, view: int) -> Tuple[int, ...]:
+        """The ``t`` passive replicas of ``view``."""
+        active = set(self.group(view))
+        return tuple(r for r in range(self.n) if r not in active)
+
+    def is_active(self, view: int, replica: int) -> bool:
+        """Is ``replica`` in the synchronous group of ``view``?"""
+        return replica in self.group(view)
+
+    def is_primary(self, view: int, replica: int) -> bool:
+        """Is ``replica`` the primary of ``view``?"""
+        return replica == self.primary(view)

@@ -1,0 +1,1327 @@
+"""The XPaxos replica: common case, view change, checkpointing, lazy
+replication, retransmission handling, and (optionally) fault detection.
+
+This module implements Algorithms 1-5 of the paper's Appendix B.  The
+``t = 1`` fast path (Algorithm 1, Figure 2b) and the general path
+(Algorithm 2, Figure 2a) are both present; the replica picks the path from
+``config.t``.
+
+State layout mirrors the pseudocode:
+
+* ``view`` -- current view number ``i``.
+* ``prepare_log`` / ``commit_log`` -- the paper's ``PrepareLog`` /
+  ``CommitLog`` (sparse, checkpoint-truncated).
+* ``sn`` -- highest sequence number prepared locally; ``ex`` -- highest
+  executed.
+* View-change state is per target view: the ``VCSet``, received
+  ``VC-FINAL``s, the ``2 Delta`` network timer, and the view-change timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ProtocolViolation
+from repro.crypto.costs import CostModel
+from repro.crypto.primitives import (
+    Digest,
+    KeyStore,
+    client_principal,
+    digest_of,
+    replica_principal,
+)
+from repro.net.network import Network
+from repro.protocols.xpaxos import messages as msg
+from repro.protocols.xpaxos.detection import FaultDetector
+from repro.protocols.xpaxos.groups import SynchronousGroups
+from repro.sim.core import Simulator
+from repro.sim.process import Timer
+from repro.smr.app import StateMachine
+from repro.smr.log import CommitEntry, CommitLog, PrepareEntry, PrepareLog
+from repro.smr.messages import Batch, Request
+from repro.smr.runtime import ReplicaBase
+
+
+@dataclass
+class _ViewChangeState:
+    """Per-target-view bookkeeping during a view change."""
+
+    vcset: Dict[int, msg.ViewChange] = field(default_factory=dict)
+    vc_finals: Dict[int, msg.VcFinal] = field(default_factory=dict)
+    vc_confirms: Dict[int, msg.VcConfirm] = field(default_factory=dict)
+    net_timer_expired: bool = False
+    sent_vc_final: bool = False
+    confirmed_digest: Optional[Digest] = None
+    processed_new_view: bool = False
+
+
+@dataclass
+class _RetransmissionState:
+    """Per-request bookkeeping for Algorithm 4."""
+
+    request: Request
+    shares: Dict[int, msg.SignedReplyShare] = field(default_factory=dict)
+    timer: Optional[Timer] = None
+    done: bool = False
+    retries: int = 0
+
+
+class XPaxosReplica(ReplicaBase):
+    """One XPaxos replica (active or passive depending on the view)."""
+
+    def __init__(self, replica_id: int, config: ClusterConfig,
+                 sim: Simulator, network: Network, keystore: KeyStore,
+                 app_factory: Callable[[], StateMachine], site: str,
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(replica_id, config, sim, network, keystore,
+                         app_factory, site, cost_model)
+        assert config.n is not None
+        self.groups = SynchronousGroups(config.n, config.t)
+        self.view = 0
+        self.sn = 0          # highest prepared sequence number
+        self.ex = 0          # highest executed sequence number
+        self.prepare_log = PrepareLog()
+        self.commit_log = CommitLog()
+        self.prepare_view = 0   # view in which prepare_log was generated (FD)
+
+        # Batching at the primary.
+        self._pending_requests: List[Request] = []
+        self._batch_timer = Timer(self, self._flush_batch, "batch")
+        self._seen_requests: Set[tuple] = set()
+
+        # Per-slot transient state for the general (t >= 2) path.
+        self._commit_votes: Dict[int, Dict[int, msg.CommitVote]] = {}
+        self._pending_prepares: Dict[int, Any] = {}  # out-of-order buffer
+
+        # Reply cache: client -> (timestamp, ReplyMsg fields) for dedup.
+        self._last_reply: Dict[int, msg.ReplyMsg] = {}
+
+        # View change.
+        self._suspected_views: Set[int] = set()
+        self._forwarded_suspects: Set[tuple] = set()
+        self._vc: Dict[int, _ViewChangeState] = {}
+        self._net_timer = Timer(self, self._on_net_timer, "timer_net")
+        self._vc_timer = Timer(self, self._on_vc_timer, "timer_vc")
+        self.view_changes_completed = 0
+        self.in_view_change = False
+
+        # Fault detection.
+        self.detector = FaultDetector(self) if config.use_fault_detection \
+            else None
+        self.detected_faulty: Set[int] = set()
+        self.final_proofs: Dict[int, Tuple] = {}
+
+        # Checkpointing.
+        self._prechk_votes: Dict[int, Dict[int, bytes]] = {}
+        self._chkpt_sigs: Dict[int, Dict[int, msg.Chkpt]] = {}
+        self.stable_checkpoint: Optional[msg.CheckpointProof] = None
+
+        # Retransmission handling (Algorithm 4).
+        self._retransmissions: Dict[tuple, _RetransmissionState] = {}
+        self._buffered_resends: List[msg.ReSend] = []
+
+        # State retrieval for recovering/lagging passive replicas.
+        self._fetch_pending = False
+
+        # Fault-injection hooks (see repro.faults): mutate outgoing
+        # view-change content to model non-crash faults.
+        self.byzantine: Optional[Any] = None
+
+        # Metrics hooks.
+        self.on_commit_batch: Optional[Callable[[int, Batch], None]] = None
+
+    # ------------------------------------------------------------------
+    # Role helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        """Is this replica in the current synchronous group?"""
+        return self.groups.is_active(self.view, self.replica_id)
+
+    @property
+    def is_primary(self) -> bool:
+        """Is this replica the current primary?"""
+        return self.groups.is_primary(self.view, self.replica_id)
+
+    @property
+    def is_follower(self) -> bool:
+        """Is this replica a follower in the current view?"""
+        return self.is_active and not self.is_primary
+
+    def _active_names(self, view: Optional[int] = None) -> List[str]:
+        v = self.view if view is None else view
+        return [self.replica_name(r) for r in self.groups.group(v)]
+
+    def _passive_names(self, view: Optional[int] = None) -> List[str]:
+        v = self.view if view is None else view
+        return [self.replica_name(r) for r in self.groups.passive(v)]
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        handlers = {
+            msg.Replicate: self._on_replicate,
+            msg.Prepare: self._on_prepare,
+            msg.CommitVote: self._on_commit_vote,
+            msg.FastPrepare: self._on_fast_prepare,
+            msg.FastCommit: self._on_fast_commit,
+            msg.Suspect: self._on_suspect,
+            msg.ViewChange: self._on_view_change,
+            msg.VcFinal: self._on_vc_final,
+            msg.VcConfirm: self._on_vc_confirm,
+            msg.NewView: self._on_new_view,
+            msg.PreChk: self._on_prechk,
+            msg.Chkpt: self._on_chkpt,
+            msg.LazyChk: self._on_lazychk,
+            msg.LazyCommit: self._on_lazy_commit,
+            msg.FetchEntries: self._on_fetch,
+            msg.FetchReply: self._on_fetch_reply,
+            msg.ReSend: self._on_resend,
+            msg.SignedReplyShare: self._on_signed_reply_share,
+            msg.FaultAccusation: self._on_fault_accusation,
+        }
+        handler = handlers.get(type(payload))
+        if handler is None:
+            return  # unknown message types are ignored, not fatal
+        try:
+            handler(src, payload)
+        except ProtocolViolation:
+            # Section 4.3.2 case (i): a non-conforming message from an
+            # active replica triggers view-change initiation.
+            self.suspect_view(self.view)
+
+    # ==================================================================
+    # Common case -- Algorithms 1 and 2
+    # ==================================================================
+    def _on_replicate(self, src: str, m: msg.Replicate) -> None:
+        request = m.request
+        if not self._verify_request(request):
+            return
+        if not self.is_primary or self.in_view_change:
+            return  # clients retransmit to the right primary eventually
+        if self._already_executed(request):
+            self._resend_cached_reply(request)
+            return
+        if request.rid in self._seen_requests:
+            return
+        self._seen_requests.add(request.rid)
+        self._pending_requests.append(request)
+        if len(self._pending_requests) >= self.config.batch_size:
+            self._flush_batch()
+        elif not self._batch_timer.armed:
+            self._batch_timer.start(self.config.batch_timeout_ms)
+
+    def _verify_request(self, request: Request) -> bool:
+        """Verify the client's signature on a request."""
+        if request.signature is None:
+            return False
+        self.cpu.charge_verify()
+        return self.keystore.verify(request.signature, request.body())
+
+    def _already_executed(self, request: Request) -> bool:
+        cached = self._last_reply.get(request.client)
+        return cached is not None and cached.timestamp >= request.timestamp
+
+    def _resend_cached_reply(self, request: Request) -> None:
+        cached = self._last_reply.get(request.client)
+        if cached is not None and cached.timestamp == request.timestamp:
+            self.send(f"c{request.client}", cached,
+                      size_bytes=cached.size_bytes)
+
+    def _flush_batch(self) -> None:
+        """Form a batch from pending requests and start ordering it."""
+        self._batch_timer.stop()
+        if not self._pending_requests or not self.is_primary \
+                or self.in_view_change:
+            return
+        requests = tuple(self._pending_requests[: self.config.batch_size])
+        del self._pending_requests[: len(requests)]
+        batch = Batch(requests)
+        self.sn += 1
+        seqno = self.sn
+        if self.config.t == 1:
+            self._fast_propose(seqno, batch)
+        else:
+            self._propose(seqno, batch)
+        if self._pending_requests:
+            # More waiting than one batch: keep the pipeline moving.
+            self.sim.call_soon(self._flush_batch)
+
+    # -- general case (t >= 2) ------------------------------------------
+    def _propose(self, seqno: int, batch: Batch) -> None:
+        batch_digest = self._batch_digest(batch)
+        sig = self.sign(msg.prepare_payload(batch_digest, seqno, self.view))
+        entry = PrepareEntry(seqno, self.view, batch, sig)
+        self.prepare_log.put(seqno, entry)
+        prepare = msg.Prepare(self.view, seqno, batch, batch_digest, sig)
+        for follower in self.groups.followers(self.view):
+            self.send(self.replica_name(follower), prepare,
+                      size_bytes=batch.size_bytes)
+
+    def _on_prepare(self, src: str, m: msg.Prepare) -> None:
+        if self.config.t == 1:
+            return
+        if m.view != self.view or not self.is_follower:
+            return
+        if self.in_view_change:
+            # A prepare for the view we are still installing: the sender
+            # adopted it a moment before us.  Buffer and drain on adoption.
+            self._pending_prepares[m.seqno] = m
+            return
+        primary = self.groups.primary(self.view)
+        if src != self.replica_name(primary):
+            return
+        self._verify_prepare(m, primary)
+        if m.seqno != self.sn + 1:
+            if m.seqno > self.sn + 1:
+                self._pending_prepares[m.seqno] = m  # out-of-order buffer
+            return
+        self._accept_prepare(m)
+        # Drain any buffered successors that are now in order.
+        while self.sn + 1 in self._pending_prepares:
+            self._accept_prepare(self._pending_prepares.pop(self.sn + 1))
+
+    def _verify_prepare(self, m: msg.Prepare, primary: int) -> None:
+        expected = self._batch_digest(m.batch)
+        if expected != m.batch_digest:
+            raise ProtocolViolation("prepare digest mismatch")
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.primary_sig,
+                msg.prepare_payload(m.batch_digest, m.seqno, m.view)) \
+                or m.primary_sig.signer != replica_principal(primary):
+            raise ProtocolViolation("bad primary signature on prepare")
+        for request in m.batch:
+            if not self._verify_request(request):
+                raise ProtocolViolation("bad client signature in batch")
+
+    def _accept_prepare(self, m: msg.Prepare) -> None:
+        self.sn = m.seqno
+        entry = PrepareEntry(m.seqno, m.view, m.batch, m.primary_sig)
+        self.prepare_log.put(m.seqno, entry)
+        sig = self.sign(msg.commit_payload(m.batch_digest, m.seqno, m.view,
+                                           self.replica_id))
+        vote = msg.CommitVote(m.view, m.seqno, m.batch_digest,
+                              self.replica_id, sig)
+        for name in self._active_names():
+            if name == self.name:
+                self._record_commit_vote(vote)
+            else:
+                self.send(name, vote, size_bytes=64)
+
+    def _on_commit_vote(self, src: str, m: msg.CommitVote) -> None:
+        if self.config.t == 1:
+            return
+        if m.view != self.view or not self.is_active or self.in_view_change:
+            return
+        if m.sender not in self.groups.followers(self.view):
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.sig, msg.commit_payload(m.batch_digest, m.seqno, m.view,
+                                          m.sender)) \
+                or m.sig.signer != replica_principal(m.sender):
+            raise ProtocolViolation("bad follower signature on commit")
+        self._record_commit_vote(m)
+
+    def _record_commit_vote(self, vote: msg.CommitVote) -> None:
+        votes = self._commit_votes.setdefault(vote.seqno, {})
+        votes[vote.sender] = vote
+        self._try_commit_general(vote.seqno)
+
+    def _try_commit_general(self, seqno: int) -> None:
+        """Commit once the prepare entry and all t follower votes are in."""
+        if seqno in self.commit_log:
+            return
+        entry = self.prepare_log.get(seqno)
+        if entry is None:
+            return
+        votes = self._commit_votes.get(seqno, {})
+        followers = set(self.groups.followers(self.view))
+        have = {s for s in votes if s in followers}
+        if len(have) < self.config.t:
+            return
+        batch_digest = self._batch_digest(entry.batch)
+        matching = [votes[s].sig for s in sorted(have)
+                    if votes[s].batch_digest == batch_digest]
+        if len(matching) < self.config.t:
+            return
+        proof = (entry.primary_sig, *matching)
+        self.commit_log.put(
+            seqno, CommitEntry(seqno, entry.view, entry.batch, proof))
+        self._commit_votes.pop(seqno, None)
+        self._execute_ready()
+
+    # -- fast path (t = 1) ------------------------------------------------
+    def _fast_propose(self, seqno: int, batch: Batch) -> None:
+        batch_digest = self._batch_digest(batch)
+        m0 = self.sign(msg.commit0_payload(batch_digest, seqno, self.view))
+        entry = PrepareEntry(seqno, self.view, batch, m0)
+        self.prepare_log.put(seqno, entry)
+        fast = msg.FastPrepare(self.view, seqno, batch, batch_digest, m0)
+        follower = self.groups.followers(self.view)[0]
+        self.send(self.replica_name(follower), fast,
+                  size_bytes=batch.size_bytes)
+
+    def _on_fast_prepare(self, src: str, m: msg.FastPrepare) -> None:
+        if self.config.t != 1:
+            return
+        if m.view != self.view or not self.is_follower:
+            return
+        if self.in_view_change:
+            # Same-view prepare racing our own view-change completion:
+            # buffer it and drain once the NEW-VIEW is adopted.
+            self._pending_prepares[m.seqno] = m
+            return
+        primary = self.groups.primary(self.view)
+        if src != self.replica_name(primary):
+            return
+        if self._batch_digest(m.batch) != m.batch_digest:
+            raise ProtocolViolation("fast-prepare digest mismatch")
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.m0, msg.commit0_payload(m.batch_digest, m.seqno, m.view)) \
+                or m.m0.signer != replica_principal(primary):
+            raise ProtocolViolation("bad m0 signature")
+        for request in m.batch:
+            if not self._verify_request(request):
+                raise ProtocolViolation("bad client signature in batch")
+        if m.seqno != self.sn + 1:
+            if m.seqno > self.sn + 1:
+                self._pending_prepares[m.seqno] = m
+            return
+        self._accept_fast_prepare(m)
+        while self.sn + 1 in self._pending_prepares:
+            self._accept_fast_prepare(
+                self._pending_prepares.pop(self.sn + 1))
+
+    def _accept_fast_prepare(self, m: msg.FastPrepare) -> None:
+        """Follower side of the t = 1 pattern: execute, sign m1, log."""
+        self.sn = m.seqno
+        results = self._execute_batch(m.seqno, m.batch)
+        reply_digest = digest_of(tuple(results))
+        m1 = self.sign(msg.commit1_payload(m.batch_digest, m.seqno, m.view,
+                                           reply_digest))
+        entry = CommitEntry(m.seqno, m.view, m.batch, (m.m0, m1))
+        self.commit_log.put(m.seqno, entry)
+        self.ex = m.seqno
+        # The follower does not answer clients in the fast path, but it
+        # must cache its replies so the retransmission protocol
+        # (Algorithm 4) can later produce its signed reply share.
+        self._cache_replies(m.seqno, m.batch, results)
+        fast_commit = msg.FastCommit(m.view, m.seqno, m.batch_digest,
+                                     reply_digest, m1)
+        primary = self.groups.primary(self.view)
+        self.send(self.replica_name(primary), fast_commit, size_bytes=96)
+        self._lazy_replicate(entry)
+        self._maybe_checkpoint(m.seqno)
+
+    def _on_fast_commit(self, src: str, m: msg.FastCommit) -> None:
+        if self.config.t != 1:
+            return
+        if m.view != self.view or not self.is_primary \
+                or self.in_view_change:
+            return
+        follower = self.groups.followers(self.view)[0]
+        if src != self.replica_name(follower):
+            return
+        entry = self.prepare_log.get(m.seqno)
+        if entry is None or self._batch_digest(entry.batch) != m.batch_digest:
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.m1, msg.commit1_payload(m.batch_digest, m.seqno, m.view,
+                                          m.reply_digest)) \
+                or m.m1.signer != replica_principal(follower):
+            raise ProtocolViolation("bad m1 signature")
+        if m.seqno in self.commit_log:
+            return
+        commit_entry = CommitEntry(m.seqno, m.view, entry.batch,
+                                   (entry.primary_sig, m.m1))
+        self.commit_log.put(m.seqno, commit_entry)
+        self._fast_commits_pending = getattr(self, "_fast_commits_pending",
+                                             {})
+        self._fast_commits_pending[m.seqno] = m
+        self._execute_ready()
+
+    # -- execution ---------------------------------------------------------
+    def _execute_ready(self) -> None:
+        """Execute committed batches in sequence order."""
+        while True:
+            entry = self.commit_log.get(self.ex + 1)
+            if entry is None:
+                return
+            seqno = self.ex + 1
+            results = self._execute_batch(seqno, entry.batch)
+            self.ex = seqno
+            if self.is_active:
+                self._reply_to_clients(seqno, entry, results)
+                if self.config.t >= 2 and self.is_follower:
+                    self._lazy_replicate(entry)
+            else:
+                self._cache_replies(seqno, entry.batch, results)
+            self._maybe_checkpoint(seqno)
+
+    def _execute_batch(self, seqno: int, batch: Batch) -> List[Any]:
+        results = []
+        for request in batch:
+            results.append(self.app.execute(request.op))
+            self.execution_trace.append((seqno, request.rid))
+            self.committed_requests += 1
+        if self.on_commit_batch is not None:
+            self.on_commit_batch(seqno, batch)
+        return results
+
+    def _cache_replies(self, seqno: int, batch: Batch,
+                       results: List[Any]) -> None:
+        """Record this replica's reply per request (dedup + Algorithm 4)
+        without sending anything to clients."""
+        for request, result in zip(batch, results):
+            reply_digest = digest_of(result)
+            body = (self.replica_id, self.view, seqno, request.timestamp,
+                    request.client, reply_digest)
+            mac = self.mac_for(client_principal(request.client), body)
+            self._last_reply[request.client] = msg.ReplyMsg(
+                replica=self.replica_id, view=self.view, seqno=seqno,
+                timestamp=request.timestamp, client=request.client,
+                result=result, result_digest=reply_digest, mac=mac)
+            if request.rid in self._retransmissions:
+                self._emit_signed_reply_share(request)
+
+    def _reply_to_clients(self, seqno: int, entry: CommitEntry,
+                          results: List[Any]) -> None:
+        fast = None
+        if self.config.t == 1 and self.is_primary:
+            pending = getattr(self, "_fast_commits_pending", {})
+            fast = pending.pop(seqno, None)
+            if fast is not None:
+                # Cross-check our reply digest against the follower's.
+                if digest_of(tuple(results)) != fast.reply_digest:
+                    raise ProtocolViolation(
+                        "follower reply digest mismatch (divergent state)")
+        for request, result in zip(entry.batch, results):
+            reply_digest = digest_of(result)
+            full = self.is_primary
+            body = (self.replica_id, self.view, seqno, request.timestamp,
+                    request.client, reply_digest)
+            mac = self.mac_for(client_principal(request.client), body)
+            reply = msg.ReplyMsg(
+                replica=self.replica_id, view=self.view, seqno=seqno,
+                timestamp=request.timestamp, client=request.client,
+                result=result if full else None,
+                result_digest=reply_digest, mac=mac,
+                follower_commit=fast,
+                size_bytes=(getattr(result, "__len__", lambda: 0)()
+                            if full else 32),
+            )
+            self._last_reply[request.client] = reply
+            if request.rid in self._retransmissions:
+                self._emit_signed_reply_share(request)
+            # t = 1: only the primary replies (the reply carries m1).
+            if self.config.t == 1 and not self.is_primary:
+                continue
+            self.send(f"c{request.client}", reply,
+                      size_bytes=reply.size_bytes)
+
+    def _batch_digest(self, batch: Batch) -> Digest:
+        self.cpu.charge_digest(batch.size_bytes)
+        return msg.batch_digest_of(batch)
+
+    # ==================================================================
+    # View change -- Algorithm 3
+    # ==================================================================
+    def suspect_view(self, view: int) -> None:
+        """Initiate a view change for ``view`` (Section 4.3.2)."""
+        if view != self.view or view in self._suspected_views:
+            return
+        if not self.groups.is_active(view, self.replica_id):
+            return  # only active replicas may initiate
+        self._suspected_views.add(view)
+        sig = self.sign(msg.suspect_payload(view, self.replica_id))
+        suspect = msg.Suspect(view, self.replica_id, sig)
+        for name in self.all_replica_names():
+            if name != self.name:
+                self.send(name, suspect, size_bytes=48)
+        self._process_suspect(suspect)
+
+    def _on_suspect(self, src: str, m: msg.Suspect) -> None:
+        if not self.groups.is_active(m.view, m.sender):
+            return  # only active replicas of that view may suspect it
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.sig, msg.suspect_payload(m.view, m.sender)) \
+                or m.sig.signer != replica_principal(m.sender):
+            return
+        key = (m.view, m.sender)
+        if key not in self._forwarded_suspects:
+            self._forwarded_suspects.add(key)
+            for name in self.all_replica_names():
+                if name != self.name and name != src:
+                    self.send(name, m, size_bytes=48)
+        self._process_suspect(m)
+
+    def _process_suspect(self, m: msg.Suspect) -> None:
+        """Enter view ``m.view + 1`` if the suspicion concerns our view."""
+        if m.view < self.view:
+            return
+        # Enter each view in order (Algorithm 3 line 6-7): a suspect for a
+        # future view fast-forwards us through the intermediate ones.
+        target = m.view + 1
+        while self.view < target:
+            self._enter_view(self.view + 1)
+
+    def _enter_view(self, new_view: int) -> None:
+        """Stop the old view and send our VIEW-CHANGE to the new actives."""
+        self.view = new_view
+        self.in_view_change = True
+        self._batch_timer.stop()
+        self._pending_prepares.clear()
+        self._commit_votes.clear()
+        # Give pending retransmissions a fresh window: the new view needs
+        # time to form before it can possibly commit them.
+        for state in self._retransmissions.values():
+            if not state.done and state.timer is not None \
+                    and state.timer.armed:
+                state.timer.start(4 * self.config.delta_ms
+                                  + 8 * self.config.batch_timeout_ms)
+        vc = self._build_view_change(new_view)
+        for name in self._active_names(new_view):
+            if name == self.name:
+                self._record_view_change(vc)
+            else:
+                self.send(name, vc, size_bytes=self._vc_size(vc))
+        if self.groups.is_active(new_view, self.replica_id):
+            self._vc.setdefault(new_view, _ViewChangeState())
+            self._net_timer.start(2 * self.config.delta_ms)
+            self._vc_timer.start(self.config.view_change_timeout_ms)
+
+    def _build_view_change(self, new_view: int) -> msg.ViewChange:
+        commit_entries = tuple(self.commit_log.items())
+        prepare_entries = None
+        final_proof = None
+        if self.config.use_fault_detection:
+            prepare_entries = tuple(self.prepare_log.items())
+            final_proof = self.final_proofs.get(self.prepare_view)
+        payload = msg.view_change_payload(
+            new_view, self.replica_id, commit_entries, prepare_entries,
+            digest_of(self.stable_checkpoint.state_digest)
+            if self.stable_checkpoint else None)
+        sig = self.sign(payload)
+        vc = msg.ViewChange(
+            new_view=new_view, sender=self.replica_id,
+            commit_entries=commit_entries,
+            checkpoint=self.stable_checkpoint, sig=sig,
+            prepare_entries=prepare_entries,
+            prepare_view=self.prepare_view,
+            final_proof=final_proof)
+        if self.byzantine is not None:
+            vc = self.byzantine.mutate_view_change(self, vc)
+        return vc
+
+    @staticmethod
+    def _vc_size(vc: msg.ViewChange) -> int:
+        size = 128
+        for _, entry in vc.commit_entries:
+            size += entry.batch.size_bytes + 128
+        if vc.prepare_entries:
+            for _, entry in vc.prepare_entries:
+                size += entry.batch.size_bytes + 64
+        return size
+
+    def _on_view_change(self, src: str, m: msg.ViewChange) -> None:
+        if m.new_view < self.view:
+            return
+        if m.new_view > self.view:
+            # We are behind: a view change for a future view implies its
+            # initiators suspected everything up to it.
+            while self.view < m.new_view:
+                self._enter_view(self.view + 1)
+        if not self.groups.is_active(m.new_view, self.replica_id):
+            return
+        self._record_view_change(m)
+
+    def _record_view_change(self, m: msg.ViewChange) -> None:
+        state = self._vc.setdefault(m.new_view, _ViewChangeState())
+        state.vcset[m.sender] = m
+        self._maybe_send_vc_final(m.new_view)
+
+    def _on_net_timer(self) -> None:
+        state = self._vc.get(self.view)
+        if state is None:
+            return
+        state.net_timer_expired = True
+        self._maybe_send_vc_final(self.view)
+
+    def _maybe_send_vc_final(self, new_view: int) -> None:
+        """Algorithm 3 line 13: all n collected, or timer expired with
+        >= n - t."""
+        if new_view != self.view:
+            return
+        state = self._vc.get(new_view)
+        if state is None or state.sent_vc_final:
+            return
+        n = self.config.n
+        assert n is not None
+        enough = (len(state.vcset) >= n
+                  or (state.net_timer_expired
+                      and len(state.vcset) >= n - self.config.t))
+        if not enough:
+            return
+        state.sent_vc_final = True
+        self._net_timer.stop()
+        vcset = tuple(sorted(state.vcset.values(), key=lambda v: v.sender))
+        vcset_digest = digest_of(vcset)
+        sig = self.sign(msg.vc_final_payload(new_view, self.replica_id,
+                                             vcset_digest))
+        final = msg.VcFinal(new_view, self.replica_id, vcset, vcset_digest,
+                            sig)
+        for name in self._active_names(new_view):
+            if name == self.name:
+                self._record_vc_final(final)
+            else:
+                self.send(name, final, size_bytes=256)
+
+    def _on_vc_final(self, src: str, m: msg.VcFinal) -> None:
+        if m.new_view != self.view:
+            return
+        if not self.groups.is_active(m.new_view, self.replica_id):
+            return
+        if m.sender not in self.groups.group(m.new_view):
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.sig, msg.vc_final_payload(m.new_view, m.sender,
+                                            m.vcset_digest)):
+            return
+        self._record_vc_final(m)
+
+    def _record_vc_final(self, m: msg.VcFinal) -> None:
+        state = self._vc.setdefault(m.new_view, _ViewChangeState())
+        state.vc_finals[m.sender] = m
+        # Merge the piggybacked view-change messages into our VCSet.
+        for vc in m.vcset:
+            state.vcset.setdefault(vc.sender, vc)
+        needed = set(self.groups.group(m.new_view))
+        if set(state.vc_finals) < needed:
+            return
+        if self.config.use_fault_detection:
+            self._run_fault_detection(m.new_view, state)
+        else:
+            self._finish_view_change(m.new_view, state)
+
+    # -- fault-detection insertion point (Algorithm 5) --------------------
+    def _run_fault_detection(self, new_view: int,
+                             state: _ViewChangeState) -> None:
+        assert self.detector is not None
+        if state.confirmed_digest is not None:
+            return  # already ran
+        merged: Dict[int, msg.ViewChange] = {}
+        for final in state.vc_finals.values():
+            for vc in final.vcset:
+                merged.setdefault(vc.sender, vc)
+        merged.update(state.vcset)
+        faulty = self.detector.detect(new_view, list(merged.values()))
+        for accused in faulty:
+            self.detected_faulty.add(accused)
+        clean = {sender: vc for sender, vc in merged.items()
+                 if sender not in faulty}
+        state.vcset = clean
+        vcset = tuple(sorted(clean.values(), key=lambda v: v.sender))
+        vcset_digest = digest_of(vcset)
+        state.confirmed_digest = vcset_digest
+        sig = self.sign(msg.vc_confirm_payload(new_view, self.replica_id,
+                                               vcset_digest))
+        confirm = msg.VcConfirm(new_view, self.replica_id, vcset_digest, sig)
+        for name in self._active_names(new_view):
+            if name == self.name:
+                self._record_vc_confirm(confirm)
+            else:
+                self.send(name, confirm, size_bytes=96)
+
+    def _on_vc_confirm(self, src: str, m: msg.VcConfirm) -> None:
+        if m.new_view != self.view:
+            return
+        if not self.groups.is_active(m.new_view, self.replica_id):
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.sig, msg.vc_confirm_payload(m.new_view, m.sender,
+                                              m.vcset_digest)):
+            return
+        self._record_vc_confirm(m)
+
+    def _record_vc_confirm(self, m: msg.VcConfirm) -> None:
+        state = self._vc.setdefault(m.new_view, _ViewChangeState())
+        state.vc_confirms[m.sender] = m
+        needed = set(self.groups.group(m.new_view))
+        if set(state.vc_confirms) < needed:
+            return
+        digests = {c.vcset_digest for c in state.vc_confirms.values()}
+        if len(digests) != 1:
+            self.suspect_view(self.view)
+            return
+        self.final_proofs[m.new_view] = tuple(
+            c.sig for c in sorted(state.vc_confirms.values(),
+                                  key=lambda c: c.sender))
+        self._finish_view_change(m.new_view, state)
+
+    # -- state selection and NEW-VIEW -------------------------------------
+    def _finish_view_change(self, new_view: int,
+                            state: _ViewChangeState) -> None:
+        selection, checkpoint = self._select_state(state)
+        if self.groups.is_primary(new_view, self.replica_id):
+            entries = []
+            for seqno in sorted(selection):
+                batch = selection[seqno].batch
+                batch_digest = msg.batch_digest_of(batch)
+                if self.config.t == 1:
+                    payload = msg.commit0_payload(batch_digest, seqno,
+                                                  new_view)
+                else:
+                    payload = msg.prepare_payload(batch_digest, seqno,
+                                                  new_view)
+                sig = self.sign(payload)
+                entries.append(PrepareEntry(seqno, new_view, batch, sig))
+            entries_tuple = tuple(entries)
+            sig = self.sign(msg.new_view_payload(new_view,
+                                                 digest_of(entries_tuple)))
+            new_view_msg = msg.NewView(new_view, entries_tuple, checkpoint,
+                                       sig)
+            for name in self._active_names(new_view):
+                if name == self.name:
+                    self._adopt_new_view(new_view_msg, selection)
+                else:
+                    self.send(name, new_view_msg, size_bytes=1024)
+        # Followers wait for the primary's NEW-VIEW; _vc_timer still runs.
+        self._pending_selection = (new_view, selection, checkpoint)
+
+    def _select_state(self, state: _ViewChangeState):
+        """Per sequence number, pick the entry with the highest view
+        (Section 4.3.3), considering prepare logs too under FD
+        (Algorithm 5 lines 12-20)."""
+        selection: Dict[int, CommitEntry] = {}
+        best_checkpoint: Optional[msg.CheckpointProof] = None
+        for vc in state.vcset.values():
+            if vc.checkpoint is not None:
+                if (best_checkpoint is None
+                        or vc.checkpoint.seqno > best_checkpoint.seqno):
+                    best_checkpoint = vc.checkpoint
+            for seqno, entry in vc.commit_entries:
+                current = selection.get(seqno)
+                if current is None or entry.view > current.view:
+                    selection[seqno] = entry
+            if self.config.use_fault_detection and vc.prepare_entries:
+                for seqno, pentry in vc.prepare_entries:
+                    current = selection.get(seqno)
+                    if current is None or pentry.view > current.view:
+                        selection[seqno] = CommitEntry(
+                            seqno, pentry.view, pentry.batch,
+                            (pentry.primary_sig,))
+        if best_checkpoint is not None:
+            selection = {sn: e for sn, e in selection.items()
+                         if sn > best_checkpoint.seqno}
+        return selection, best_checkpoint
+
+    def _on_new_view(self, src: str, m: msg.NewView) -> None:
+        if m.new_view != self.view:
+            return
+        if not self.groups.is_active(m.new_view, self.replica_id):
+            return
+        primary = self.groups.primary(m.new_view)
+        if src != self.replica_name(primary):
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.sig, msg.new_view_payload(m.new_view,
+                                            digest_of(m.entries))):
+            self.suspect_view(self.view)
+            return
+        # Verify the primary's selection against our own (Algorithm 3
+        # line 26): mismatch means a faulty primary -> suspect.
+        pending = getattr(self, "_pending_selection", None)
+        if pending is not None and pending[0] == m.new_view:
+            _, selection, _ = pending
+            expected = {sn: msg.batch_digest_of(e.batch)
+                        for sn, e in selection.items()}
+            offered = {e.seqno: msg.batch_digest_of(e.batch)
+                       for e in m.entries}
+            if expected != offered:
+                self.suspect_view(self.view)
+                return
+        selection = {e.seqno: CommitEntry(e.seqno, e.view, e.batch,
+                                          (e.primary_sig,))
+                     for e in m.entries}
+        self._adopt_new_view(m, selection)
+
+    def _adopt_new_view(self, m: msg.NewView,
+                        selection: Dict[int, CommitEntry]) -> None:
+        state = self._vc.get(m.new_view)
+        if state is not None and state.processed_new_view:
+            return
+        if state is not None:
+            state.processed_new_view = True
+        # State transfer: restore from the checkpoint if we are behind it.
+        if m.checkpoint is not None and self.ex < m.checkpoint.seqno:
+            self.app.restore(m.checkpoint.snapshot)
+            self.ex = m.checkpoint.seqno
+            self.sn = max(self.sn, m.checkpoint.seqno)
+            self.stable_checkpoint = m.checkpoint
+            self.commit_log.truncate_to(m.checkpoint.seqno)
+            self.prepare_log.truncate_to(m.checkpoint.seqno)
+        # Re-commit every selected request in the new view.
+        for entry in m.entries:
+            self.prepare_log.put(entry.seqno,
+                                 PrepareEntry(entry.seqno, m.new_view,
+                                              entry.batch,
+                                              entry.primary_sig))
+            proof = (entry.primary_sig,)
+            self.commit_log.put(entry.seqno,
+                                CommitEntry(entry.seqno, m.new_view,
+                                            entry.batch, proof))
+        self.prepare_view = m.new_view
+        highest = max((e.seqno for e in m.entries), default=0)
+        if m.checkpoint is not None:
+            highest = max(highest, m.checkpoint.seqno)
+        highest = max(highest, self.ex)
+        # Algorithm 3 line 29: sn <- End(PrepareLog).  Slots this replica
+        # prepared in older views that the selection did not adopt are
+        # abandoned (their clients retransmit); keeping a higher sn would
+        # make the follower reject every new prepare as out-of-order.
+        self.sn = highest
+        for stale in [s for s, _ in self.prepare_log.items() if s > highest]:
+            self.prepare_log.drop(stale)
+        self._execute_ready()
+        # Catch up execution over any holes left by a sparse selection: a
+        # hole below the highest selected seqno means no request committed
+        # there in any previous view, so it is skipped.
+        if self.ex < highest:
+            for seqno in range(self.ex + 1, highest + 1):
+                if seqno not in self.commit_log:
+                    self.ex = seqno
+                else:
+                    self._execute_ready()
+            self._execute_ready()
+        self._vc_timer.stop()
+        self.in_view_change = False
+        self.view_changes_completed += 1
+        # Drain prepares for this view that arrived while we were still
+        # installing it (they were buffered by the prepare handlers).
+        if self.is_follower:
+            primary_name = self.replica_name(
+                self.groups.primary(self.view))
+            buffered_prepares = [p for _, p in sorted(
+                self._pending_prepares.items())
+                if getattr(p, "view", -1) == self.view]
+            self._pending_prepares.clear()
+            for prepared in buffered_prepares:
+                if isinstance(prepared, msg.FastPrepare):
+                    self.sim.call_soon(
+                        lambda p=prepared: self._on_fast_prepare(
+                            primary_name, p))
+                elif isinstance(prepared, msg.Prepare):
+                    self.sim.call_soon(
+                        lambda p=prepared: self._on_prepare(
+                            primary_name, p))
+        # Replay client retransmissions that arrived during the change, and
+        # re-drive every still-unresolved retransmission: requests prepared
+        # but not committed in the old view were dropped by the state
+        # selection, and waiting for the client's next backoff retry would
+        # race the replica-side progress timer.
+        buffered, self._buffered_resends = self._buffered_resends, []
+        if self.is_active:
+            for resend in buffered:
+                self.sim.call_soon(
+                    lambda m=resend: self._on_resend("buffered", m))
+            for state in self._retransmissions.values():
+                if state.done or state.request.signature is None:
+                    continue
+                resend = msg.ReSend(state.request)
+                self.sim.call_soon(
+                    lambda m=resend: self._on_resend("replayed", m))
+        # Start afresh in the new view.
+        if self.is_primary:
+            self._seen_requests = {r.rid for _, r
+                                   in ((sn, req) for sn, e
+                                       in self.commit_log.items()
+                                       for req in e.batch)}
+            if self._pending_requests:
+                self.sim.call_soon(self._flush_batch)
+
+    def _on_vc_timer(self) -> None:
+        """The view change did not complete in time (Section 4.3.2 (iii))."""
+        if self.in_view_change:
+            self._suspected_views.discard(self.view)
+            self.suspect_view(self.view)
+
+    # ==================================================================
+    # Checkpointing -- Section 4.5.1
+    # ==================================================================
+    def _maybe_checkpoint(self, seqno: int) -> None:
+        if seqno % self.config.checkpoint_period != 0:
+            return
+        if not self.is_active:
+            return
+        state_digest = self.app.state_digest()
+        body = ("prechk", seqno, self.view, state_digest, self.replica_id)
+        for name in self._active_names():
+            if name == self.name:
+                self._record_prechk(seqno, self.replica_id, state_digest)
+            else:
+                mac = self.mac_for(name, body)
+                self.send(name, msg.PreChk(seqno, self.view, state_digest,
+                                           self.replica_id, mac),
+                          size_bytes=64)
+
+    def _on_prechk(self, src: str, m: msg.PreChk) -> None:
+        if m.view != self.view or not self.is_active:
+            return
+        body = ("prechk", m.seqno, m.view, m.state_digest, m.sender)
+        self.cpu.charge_mac(64)
+        if not self.keystore.verify_mac(m.mac, body):
+            return
+        self._record_prechk(m.seqno, m.sender, m.state_digest)
+
+    def _record_prechk(self, seqno: int, sender: int,
+                       state_digest: bytes) -> None:
+        votes = self._prechk_votes.setdefault(seqno, {})
+        votes[sender] = state_digest
+        matching = [s for s, d in votes.items()
+                    if d == votes.get(self.replica_id, d)]
+        if self.replica_id not in votes or len(votes) < self.config.t + 1:
+            return
+        my_digest = votes[self.replica_id]
+        if sum(1 for d in votes.values() if d == my_digest) \
+                < self.config.t + 1:
+            return
+        if seqno in self._chkpt_sigs and self.replica_id in \
+                self._chkpt_sigs[seqno]:
+            return
+        sig = self.sign(msg.chkpt_payload(seqno, self.view, my_digest,
+                                          self.replica_id))
+        chkpt = msg.Chkpt(seqno, self.view, my_digest, self.replica_id, sig)
+        for name in self._active_names():
+            if name == self.name:
+                self._record_chkpt(chkpt)
+            else:
+                self.send(name, chkpt, size_bytes=96)
+
+    def _on_chkpt(self, src: str, m: msg.Chkpt) -> None:
+        if m.view != self.view or not self.is_active:
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.sig, msg.chkpt_payload(m.seqno, m.view, m.state_digest,
+                                         m.sender)):
+            return
+        self._record_chkpt(m)
+
+    def _record_chkpt(self, m: msg.Chkpt) -> None:
+        sigs = self._chkpt_sigs.setdefault(m.seqno, {})
+        sigs[m.sender] = m
+        matching = [c for c in sigs.values()
+                    if c.state_digest == m.state_digest]
+        if len(matching) < self.config.t + 1:
+            return
+        if (self.stable_checkpoint is not None
+                and self.stable_checkpoint.seqno >= m.seqno):
+            return
+        proof = msg.CheckpointProof(
+            seqno=m.seqno, view=m.view, state_digest=m.state_digest,
+            sigs=tuple(c.sig for c in matching[: self.config.t + 1]),
+            snapshot=self.app.snapshot())
+        self.stable_checkpoint = proof
+        self.commit_log.truncate_to(m.seqno)
+        self.prepare_log.truncate_to(m.seqno)
+        self._prechk_votes = {sn: v for sn, v in self._prechk_votes.items()
+                              if sn > m.seqno}
+        self._chkpt_sigs = {sn: v for sn, v in self._chkpt_sigs.items()
+                            if sn > m.seqno}
+        for name in self._passive_names():
+            self.send(name, msg.LazyChk(proof), size_bytes=512)
+
+    def _on_lazychk(self, src: str, m: msg.LazyChk) -> None:
+        proof = m.proof
+        if len(proof.sigs) < self.config.t + 1:
+            return
+        for sig in proof.sigs:
+            self.cpu.charge_verify()
+            if not self.keystore.verify_digest(
+                    sig, sig.digest):
+                return
+        if self.ex >= proof.seqno:
+            return
+        self.app.restore(proof.snapshot)
+        self.ex = proof.seqno
+        self.sn = max(self.sn, proof.seqno)
+        self.stable_checkpoint = proof
+        self.commit_log.truncate_to(proof.seqno)
+        self.prepare_log.truncate_to(proof.seqno)
+        self._execute_ready()
+
+    # ==================================================================
+    # Lazy replication -- Section 4.5.2
+    # ==================================================================
+    def _lazy_replicate(self, entry: CommitEntry) -> None:
+        if not self.config.use_lazy_replication:
+            return
+        passive = self.groups.passive(self.view)
+        if not passive:
+            return
+        if self.config.t == 1:
+            targets = passive
+        else:
+            followers = self.groups.followers(self.view)
+            index = followers.index(self.replica_id) \
+                if self.replica_id in followers else 0
+            targets = (passive[index % len(passive)],)
+        lazy = msg.LazyCommit(self.view, entry.seqno, entry)
+        for target in targets:
+            self.send(self.replica_name(target), lazy,
+                      size_bytes=entry.batch.size_bytes)
+
+    def _on_lazy_commit(self, src: str, m: msg.LazyCommit) -> None:
+        # Lazy traffic from a newer view tells a (recovered) passive
+        # replica that a view change completed while it was away: adopt
+        # the view number so later suspicions reference the right view.
+        if (m.view > self.view and not self.in_view_change
+                and not self.groups.is_active(m.view, self.replica_id)):
+            self.view = m.view
+        if m.seqno in self.commit_log or m.seqno <= self.ex:
+            return
+        self.commit_log.put(m.seqno, m.entry)
+        self._execute_ready()
+        if self.ex + 1 < m.seqno:
+            # A hole below this entry: some lazy messages were lost while
+            # we were down.  Retrieve the missing state (Section 4.5.2).
+            self._fetch_missing(self.ex + 1, m.seqno - 1)
+
+    def _fetch_missing(self, from_seqno: int, to_seqno: int) -> None:
+        if self._fetch_pending:
+            return
+        self._fetch_pending = True
+        request = msg.FetchEntries(from_seqno, to_seqno, self.replica_id)
+        for name in self._active_names():
+            if name != self.name:
+                self.send(name, request, size_bytes=48)
+        # Allow a re-fetch if the reply is lost.
+        self.after(2 * self.config.delta_ms, self._clear_fetch_pending,
+                   label="fetch-retry")
+
+    def _clear_fetch_pending(self) -> None:
+        self._fetch_pending = False
+
+    def _on_fetch(self, src: str, m: msg.FetchEntries) -> None:
+        entries = []
+        for seqno in range(m.from_seqno, m.to_seqno + 1):
+            entry = self.commit_log.get(seqno)
+            if entry is not None:
+                entries.append(entry)
+        reply = msg.FetchReply(tuple(entries), self.stable_checkpoint)
+        size = sum(e.batch.size_bytes for e in entries) + 64
+        self.send(src, reply, size_bytes=size)
+
+    def _on_fetch_reply(self, src: str, m: msg.FetchReply) -> None:
+        self._fetch_pending = False
+        if (m.checkpoint is not None and m.checkpoint.seqno > self.ex
+                and len(m.checkpoint.sigs) >= self.config.t + 1):
+            self.app.restore(m.checkpoint.snapshot)
+            self.ex = m.checkpoint.seqno
+            self.sn = max(self.sn, m.checkpoint.seqno)
+            self.stable_checkpoint = m.checkpoint
+            self.commit_log.truncate_to(m.checkpoint.seqno)
+            self.prepare_log.truncate_to(m.checkpoint.seqno)
+        for entry in m.entries:
+            if entry.seqno > self.ex and entry.seqno not in self.commit_log:
+                self.commit_log.put(entry.seqno, entry)
+        self._execute_ready()
+
+    # ==================================================================
+    # Request retransmission -- Algorithm 4
+    # ==================================================================
+    def _on_resend(self, src: str, m: msg.ReSend) -> None:
+        if self.in_view_change:
+            # The request cannot commit until the view change finishes;
+            # buffer the retransmission and replay it in the new view.
+            self._buffered_resends.append(m)
+            return
+        if not self.is_active:
+            return
+        request = m.request
+        if not self._verify_request(request):
+            return
+        cached = self._last_reply.get(request.client)
+        if cached is not None and cached.timestamp >= request.timestamp:
+            # Already executed: re-answer immediately with signed replies.
+            self._start_retransmission(request, already_executed=True)
+            return
+        if not self.is_primary:
+            self.send(self.replica_name(self.groups.primary(self.view)),
+                      msg.Replicate(request),
+                      size_bytes=request.size_bytes)
+        else:
+            self._on_replicate(src, msg.Replicate(request))
+        self._start_retransmission(request, already_executed=False)
+
+    def _start_retransmission(self, request: Request,
+                              already_executed: bool) -> None:
+        state = self._retransmissions.get(request.rid)
+        if state is None:
+            state = _RetransmissionState(request=request)
+            state.timer = Timer(self, lambda rid=request.rid:
+                                self._on_retransmission_timeout(rid),
+                                "timer_req")
+            self._retransmissions[request.rid] = state
+        if state.done:
+            return
+        if state.timer is not None and not state.timer.armed:
+            # The retransmitted request must commit within roughly one view
+            # change (bounded by the 2-Delta collection phase) plus a round
+            # of normal operation.
+            state.timer.start(2 * self.config.delta_ms
+                              + 8 * self.config.batch_timeout_ms)
+        if already_executed:
+            self._emit_signed_reply_share(request)
+
+    def _emit_signed_reply_share(self, request: Request) -> None:
+        cached = self._last_reply.get(request.client)
+        if cached is None:
+            return
+        if cached.timestamp > request.timestamp:
+            # The client already committed this request and moved on; the
+            # retransmission is settled, not a liveness problem.
+            self._settle_retransmission(request.rid)
+            return
+        if cached.timestamp != request.timestamp:
+            return
+        payload = msg.signed_reply_payload(
+            cached.seqno, self.view, cached.timestamp, cached.client,
+            cached.result_digest, self.replica_id)
+        sig = self.sign(payload)
+        share = msg.SignedReplyShare(
+            view=self.view, seqno=cached.seqno, timestamp=cached.timestamp,
+            client=cached.client, reply_digest=cached.result_digest,
+            result=cached.result, sender=self.replica_id, sig=sig)
+        for name in self._active_names():
+            if name == self.name:
+                self._on_signed_reply_share(self.name, share)
+            else:
+                self.send(name, share, size_bytes=96)
+
+    def _on_signed_reply_share(self, src: str,
+                               m: msg.SignedReplyShare) -> None:
+        rid = (m.client, m.timestamp)
+        state = self._retransmissions.get(rid)
+        if state is None:
+            # A peer is collecting signed replies for this request
+            # (Algorithm 4 line 7: every active replica is asked to sign):
+            # join in, contributing our own share once we have executed it.
+            cached = self._last_reply.get(m.client)
+            if cached is None or cached.timestamp < m.timestamp:
+                return  # not executed here yet; our share will follow
+            from repro.smr.messages import Request
+
+            placeholder = Request(op=None, timestamp=m.timestamp,
+                                  client=m.client)
+            self._start_retransmission(placeholder, already_executed=True)
+            state = self._retransmissions.get(rid)
+            if state is None:
+                return
+        if state.done:
+            return
+        self.cpu.charge_verify()
+        if not self.keystore.verify(
+                m.sig, msg.signed_reply_payload(m.seqno, m.view, m.timestamp,
+                                                m.client, m.reply_digest,
+                                                m.sender)):
+            return
+        state.shares[m.sender] = m
+        matching = [s for s in state.shares.values()
+                    if (s.seqno, s.reply_digest) == (m.seqno, m.reply_digest)]
+        if len(matching) >= self.config.t + 1:
+            state.done = True
+            if state.timer is not None:
+                state.timer.stop()
+            bundle = msg.SignedReplies(
+                view=self.view,
+                shares=tuple(sorted(matching, key=lambda s: s.sender)
+                             [: self.config.t + 1]))
+            self.send(f"c{m.client}", bundle, size_bytes=256)
+
+    def _settle_retransmission(self, rid: tuple) -> None:
+        """Mark a retransmission as resolved and disarm its timer."""
+        state = self._retransmissions.get(rid)
+        if state is not None:
+            state.done = True
+            if state.timer is not None:
+                state.timer.stop()
+
+    def _on_retransmission_timeout(self, rid: tuple) -> None:
+        state = self._retransmissions.get(rid)
+        if state is None or state.done:
+            return
+        client, timestamp = rid
+        cached = self._last_reply.get(client)
+        if cached is not None and cached.timestamp > timestamp:
+            # The client committed this request and moved past it: settled.
+            self._settle_retransmission(rid)
+            return
+        if (cached is not None and cached.timestamp == timestamp
+                and state.retries == 0):
+            # We executed the request but the signed-reply quorum has not
+            # formed (a peer may have missed the RE-SEND or a share was
+            # lost).  Retry the collection once before suspecting; the
+            # share exchange is a single active-to-active round trip, so
+            # one Delta bounds it.
+            state.retries += 1
+            self._emit_signed_reply_share(state.request)
+            if state.timer is not None:
+                state.timer.start(self.config.delta_ms)
+            return
+        # Algorithm 4 lines 8-10: suspect the view and tell the client.
+        view = self.view
+        self.suspect_view(view)
+        sig_payload = msg.suspect_payload(view, self.replica_id)
+        sig = self.keystore.sign(self.principal, sig_payload)
+        self.send(f"c{state.request.client}",
+                  msg.Suspect(view, self.replica_id, sig), size_bytes=48)
+
+    # ==================================================================
+    # Fault accusations (Algorithm 6 lines 17-18)
+    # ==================================================================
+    def _on_fault_accusation(self, src: str, m: msg.FaultAccusation) -> None:
+        if m.accused in self.detected_faulty:
+            return
+        self.detected_faulty.add(m.accused)
+        for name in self.all_replica_names():
+            if name != self.name and name != src:
+                self.send(name, m, size_bytes=256)
+
+    def broadcast_accusation(self, accusation: msg.FaultAccusation) -> None:
+        """Broadcast a fault-detection accusation to every replica."""
+        self.detected_faulty.add(accusation.accused)
+        for name in self.all_replica_names():
+            if name != self.name:
+                self.send(name, accusation, size_bytes=256)
+
+    # ==================================================================
+    # Crash / recovery
+    # ==================================================================
+    def recover(self) -> None:
+        """Recover with durable protocol state.
+
+        We model replicas with synchronously persisted logs and application
+        state (the strongest practical recovery discipline): ``view``,
+        ``sn``, ``ex``, both logs, and the app survive; volatile vote /
+        view-change buffers do not.
+        """
+        self._crashed = False  # Process.recover without the app reset
+        self._commit_votes.clear()
+        self._pending_prepares.clear()
+        self._pending_requests.clear()
+        self._retransmissions.clear()
+        # A recovering replica cannot tell whether its view is stale; it
+        # rejoins and relies on suspect/view-change traffic to catch up.
+        self.in_view_change = False

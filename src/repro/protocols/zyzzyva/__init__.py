@@ -1,0 +1,6 @@
+"""Zyzzyva: speculative BFT (the paper's second BFT baseline, Figure 6b)."""
+
+from repro.protocols.zyzzyva.replica import ZyzzyvaReplica
+from repro.protocols.zyzzyva.client import ZyzzyvaClient
+
+__all__ = ["ZyzzyvaReplica", "ZyzzyvaClient"]

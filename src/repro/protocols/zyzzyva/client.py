@@ -1,0 +1,21 @@
+"""Zyzzyva client: fast path commits on all 3t + 1 matching responses."""
+
+from __future__ import annotations
+
+from repro.protocols.base import QuorumClient
+
+
+class ZyzzyvaClient(QuorumClient):
+    """Closed-loop client committing on all ``3t + 1`` speculative replies.
+
+    The fault-free evaluation always completes on the fast path; a
+    commit-certificate fallback on ``2t + 1`` matching replies is modelled
+    by the retransmission timer re-driving the request (the second phase's
+    extra round trip is dominated by the timer in WAN settings).
+    """
+
+    def __init__(self, client_id, config, sim, network, keystore, site,
+                 cost_model=None) -> None:
+        assert config.n is not None
+        super().__init__(client_id, config, sim, network, keystore, site,
+                         reply_quorum=config.n, cost_model=cost_model)

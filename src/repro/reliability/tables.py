@@ -1,0 +1,153 @@
+"""Generators for the paper's reliability tables (Appendix D, Tables 5-8).
+
+Each function sweeps the grid of "nines" the paper uses and returns rows of
+computed nines of consistency / availability for CFT, XPaxos and BFT.  The
+benchmark targets print them in the paper's layout and the test suite
+asserts the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.reliability.models import (
+    epsilon_from_nines,
+    nines_of_failure,
+    q_bft_available,
+    q_bft_consistent,
+    q_cft_available,
+    q_cft_consistent,
+    q_xft_available,
+    q_xft_consistent,
+)
+
+
+@dataclass(frozen=True)
+class ConsistencyRow:
+    """One cell group of Table 5/6: nines of consistency at a grid point."""
+
+    t: int
+    nines_benign: int
+    nines_correct: int
+    nines_synchrony: int
+    cft: int
+    xpaxos: int
+    bft: int
+
+
+@dataclass(frozen=True)
+class AvailabilityRow:
+    """One cell group of Table 7/8: nines of availability at a grid point."""
+
+    t: int
+    nines_available: int
+    nines_benign: int
+    cft: int
+    xpaxos: int
+    bft: int
+
+
+def consistency_cell(t: int, nines_benign: int, nines_correct: int,
+                     nines_synchrony: int) -> ConsistencyRow:
+    """Compute one grid point of the consistency comparison.
+
+    Works on exact epsilons (``10^-nines``) and failure probabilities so
+    the 15+-nine cells of Tables 5-6 come out exactly.
+    """
+    eps_benign = epsilon_from_nines(nines_benign)
+    eps_correct = epsilon_from_nines(nines_correct)
+    eps_synchrony = epsilon_from_nines(nines_synchrony)
+    n_cft = 2 * t + 1
+    return ConsistencyRow(
+        t=t,
+        nines_benign=nines_benign,
+        nines_correct=nines_correct,
+        nines_synchrony=nines_synchrony,
+        cft=int(nines_of_failure(q_cft_consistent(eps_benign, n_cft))),
+        xpaxos=int(nines_of_failure(
+            q_xft_consistent(eps_benign, eps_correct, eps_synchrony, t))),
+        bft=int(nines_of_failure(q_bft_consistent(eps_benign, t))),
+    )
+
+
+def consistency_table(
+    t: int,
+    nines_benign_range: Iterable[int] = range(3, 9),
+    nines_synchrony_range: Optional[Iterable[int]] = None,
+    nines_correct_range: Optional[Iterable[int]] = None,
+) -> List[ConsistencyRow]:
+    """Regenerate Table 5 (``t = 1``) or Table 6 (``t = 2``).
+
+    The paper's grid: ``3 <= 9benign <= 8``, ``2 <= 9synchrony <= 6`` and
+    ``2 <= 9correct < 9benign``.
+    """
+    rows = []
+    for nb in nines_benign_range:
+        corrects = (nines_correct_range if nines_correct_range is not None
+                    else range(2, nb))
+        for nc in corrects:
+            syncs = (nines_synchrony_range
+                     if nines_synchrony_range is not None
+                     else range(2, 7))
+            for ns in syncs:
+                rows.append(consistency_cell(t, nb, nc, ns))
+    return rows
+
+
+def availability_cell(t: int, nines_available: int,
+                      nines_benign: int) -> AvailabilityRow:
+    """Compute one grid point of the availability comparison."""
+    eps_available = epsilon_from_nines(nines_available)
+    eps_benign = epsilon_from_nines(nines_benign)
+    return AvailabilityRow(
+        t=t,
+        nines_available=nines_available,
+        nines_benign=nines_benign,
+        cft=int(nines_of_failure(
+            q_cft_available(eps_available, eps_benign, t))),
+        xpaxos=int(nines_of_failure(q_xft_available(eps_available, t))),
+        bft=int(nines_of_failure(q_bft_available(eps_available, t))),
+    )
+
+
+def availability_table(
+    t: int,
+    nines_available_range: Iterable[int] = range(2, 7),
+    max_nines_benign: int = 8,
+) -> List[AvailabilityRow]:
+    """Regenerate Table 7 (``t = 1``) or Table 8 (``t = 2``).
+
+    The paper's grid: ``2 <= 9available <= 6`` and
+    ``9available < 9benign <= 8``.
+    """
+    rows = []
+    for na in nines_available_range:
+        for nb in range(na + 1, max_nines_benign + 1):
+            rows.append(availability_cell(t, na, nb))
+    return rows
+
+
+def format_consistency_table(rows: List[ConsistencyRow]) -> str:
+    """Render rows in the paper's Table 5/6 style (plain text)."""
+    header = (f"{'9benign':>8} {'9correct':>9} {'9sync':>6} "
+              f"{'CFT':>4} {'XPaxos':>7} {'BFT':>4}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.nines_benign:>8} {row.nines_correct:>9} "
+            f"{row.nines_synchrony:>6} {row.cft:>4} {row.xpaxos:>7} "
+            f"{row.bft:>4}")
+    return "\n".join(lines)
+
+
+def format_availability_table(rows: List[AvailabilityRow]) -> str:
+    """Render rows in the paper's Table 7/8 style (plain text)."""
+    header = (f"{'9avail':>7} {'9benign':>8} "
+              f"{'CFT':>4} {'BFT':>4} {'XPaxos':>7}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.nines_available:>7} {row.nines_benign:>8} "
+            f"{row.cft:>4} {row.bft:>4} {row.xpaxos:>7}")
+    return "\n".join(lines)

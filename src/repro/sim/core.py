@@ -1,0 +1,202 @@
+"""The event loop at the heart of every experiment.
+
+Design notes
+------------
+
+* **Virtual time** is a ``float`` number of milliseconds starting at 0.
+* **Determinism**: events that fire at the same instant are delivered in
+  insertion order (a monotonically increasing tiebreaker is part of the heap
+  key), so a run is a pure function of (code, seed).
+* **Cancellation** is lazy: cancelling marks the handle and the event is
+  skipped when popped, which keeps cancellation O(1) -- important because
+  protocols cancel retransmission timers on virtually every reply.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by ``(time, sequence)``."""
+
+    time: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Caller-facing handle allowing an event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the event is scheduled and not yet fired/cancelled."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.call_at(10.0, lambda: print("fires at t=10ms"))
+        sim.run(until=100.0)
+
+    The simulator never advances past an event without executing it, and it
+    raises :class:`SimulationError` on attempts to schedule in the past.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[Event] = []
+        self._sequence: int = 0
+        self._executed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def executed(self) -> int:
+        """Total events executed so far (statistics/debugging)."""
+        return self._executed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callback,
+                label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run at absolute virtual ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback,
+                      label=label)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_after(self, delay: float, callback: Callback,
+                   label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` ms from now.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, callback, label=label)
+
+    def call_soon(self, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` at the current instant (after queued peers)."""
+        return self.call_at(self._now, callback, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns:
+            True if an event was executed; False if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the queue is empty, ``until`` is reached, or the budget
+        of ``max_events`` is exhausted.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        compose naturally (``run(until=100); run(until=200)``).
+
+        Returns:
+            Number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._executed += 1
+                executed += 1
+                event.callback()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        """Run to quiescence; guard against runaway event loops.
+
+        Raises:
+            SimulationError: if ``max_events`` is exceeded, which almost
+                always indicates a timer rescheduling itself unconditionally.
+        """
+        executed = self.run(max_events=max_events)
+        if self.pending:
+            raise SimulationError(
+                f"drain exceeded {max_events} events with "
+                f"{self.pending} still pending"
+            )
+        return executed

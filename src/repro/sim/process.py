@@ -1,0 +1,114 @@
+"""Higher-level simulation primitives: named processes and restartable timers.
+
+Replicas and clients are :class:`Process` subclasses.  A process can be
+*crashed* (it stops receiving events) and later *recovered*; its timers are
+automatically invalidated on crash, which models a machine reboot losing its
+in-memory timer wheel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.core import EventHandle, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer bound to a process.
+
+    Mirrors the timers of the paper's pseudocode (``timer_c``,
+    ``timer_net``, ``timer_vc``, ``timer_req``): ``start`` arms it,
+    ``stop`` disarms it, and re-``start`` while armed restarts it.
+    """
+
+    def __init__(self, process: "Process", callback: Callable[[], None],
+                 label: str = "timer"):
+        self._process = process
+        self._callback = callback
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+        process._register_timer(self)
+
+    @property
+    def armed(self) -> bool:
+        """True if the timer is counting down."""
+        return self._handle is not None and self._handle.active
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Virtual time at which the timer will fire, or None if disarmed."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def start(self, delay_ms: float) -> None:
+        """(Re)arm the timer to fire ``delay_ms`` from now."""
+        self.stop()
+        self._handle = self._process.sim.call_after(
+            delay_ms, self._fire, label=self._label
+        )
+
+    def stop(self) -> None:
+        """Disarm the timer. Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        if self._process.crashed:
+            return
+        self._callback()
+
+
+class Process:
+    """A named participant in the simulation (replica or client).
+
+    Subclasses schedule work through :meth:`after` and :class:`Timer`; both
+    automatically become no-ops while the process is crashed, so protocol
+    code never needs crash checks around timer callbacks.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self._crashed = False
+        self._timers: List[Timer] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """True while the process is down."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Stop the process: all armed timers are lost, and future events
+        scheduled through :meth:`after` are suppressed."""
+        self._crashed = True
+        for timer in self._timers:
+            timer.stop()
+
+    def recover(self) -> None:
+        """Bring the process back up.  Subclasses override to re-arm timers
+        and re-join the protocol; they must call ``super().recover()``."""
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    def after(self, delay_ms: float, callback: Callable[[], None],
+              label: str = "") -> EventHandle:
+        """Schedule ``callback`` unless the process is crashed when it fires."""
+
+        def guarded() -> None:
+            if not self._crashed:
+                callback()
+
+        return self.sim.call_after(delay_ms, guarded,
+                                   label=label or self.name)
+
+    def _register_timer(self, timer: Timer) -> None:
+        self._timers.append(timer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        return f"<{type(self).__name__} {self.name} ({state})>"

@@ -1,0 +1,97 @@
+"""Client-facing message types shared by every protocol.
+
+A :class:`Request` is the paper's ``<REPLICATE, op, ts_c, c>_{sigma_c}``:
+client-signed, carrying an operation and the client's monotonically
+increasing timestamp.  A :class:`Reply` carries the (digest of the)
+application response; its authentication differs per protocol (MACs in
+XPaxos replies, for instance), so the envelope here only fixes the fields
+every protocol needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.crypto.primitives import Digest, Signature
+
+
+@dataclass(frozen=True)
+class Request:
+    """A signed client request (the paper's ``req``)."""
+
+    op: Any
+    timestamp: int
+    client: int
+    size_bytes: int = 0
+    signature: Optional[Signature] = None
+
+    @property
+    def rid(self) -> Tuple[int, int]:
+        """Canonical request identifier ``(client, timestamp)``."""
+        return (self.client, self.timestamp)
+
+    def body(self) -> Tuple[Any, int, int]:
+        """The signed portion (everything but the signature itself)."""
+        return (self.op, self.timestamp, self.client)
+
+    def __repr__(self) -> str:
+        return f"Request(c{self.client}#{self.timestamp})"
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A reply delivered to the client by one replica."""
+
+    replica: int
+    view: int
+    seqno: int
+    timestamp: int
+    result: Any
+    result_digest: Optional[Digest] = None
+    size_bytes: int = 0
+
+    def matches(self, other: "Reply") -> bool:
+        """Do two replies agree (same slot, same result)?
+
+        The client commits on ``t+1`` (or protocol-specific quorum) matching
+        replies; matching compares the logical content, not the sender.
+        """
+        return (
+            self.view == other.view
+            and self.seqno == other.seqno
+            and self.timestamp == other.timestamp
+            and self.result == other.result
+        )
+
+    def __repr__(self) -> str:
+        return f"Reply(r{self.replica} v{self.view} sn{self.seqno})"
+
+
+@dataclass(frozen=True)
+class Batch:
+    """An ordered group of requests occupying one sequence number.
+
+    All evaluated protocols batch with ``B = 20`` (Section 5.1.2); a batch is
+    treated as a unit by the ordering layer and unpacked at execution.
+    """
+
+    requests: Tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a batch must contain at least one request")
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: sum of request payloads (headers are negligible)."""
+        return sum(r.size_bytes for r in self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def __repr__(self) -> str:
+        return f"Batch[{len(self.requests)}]"

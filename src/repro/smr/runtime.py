@@ -1,0 +1,208 @@
+"""Shared runtime for replicas and clients of every protocol.
+
+:class:`ReplicaBase` and :class:`SmrClientBase` wrap a :class:`Process` with
+a network endpoint, a keystore facade, and a CPU meter.  Protocol modules
+subclass these and implement ``on_message``.
+
+:class:`ClusterRuntime` wires a full experiment together: simulator,
+network, keystore, replicas, clients -- and exposes the fault-injection and
+safety-checking hooks the harness and tests use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError
+from repro.crypto.costs import CostModel, CpuMeter
+from repro.crypto.primitives import (
+    KeyStore,
+    client_principal,
+    replica_principal,
+)
+from repro.net.network import Endpoint, Network
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+from repro.smr.app import StateMachine
+
+
+class NodeBase(Process):
+    """Common machinery of any network-attached node."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 site: str, keystore: KeyStore,
+                 cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.site = site
+        self.keystore = keystore
+        self.cpu = CpuMeter(cost_model or CostModel.free())
+        network.attach(Endpoint(name, site, self._on_deliver,
+                                lambda: not self.crashed))
+        #: Messages received, for debugging and protocol statistics.
+        self.messages_received = 0
+
+    # ------------------------------------------------------------------
+    def _on_deliver(self, src: str, payload: Any) -> None:
+        if self.crashed:
+            return
+        self.messages_received += 1
+        self.on_message(src, payload)
+
+    def on_message(self, src: str, payload: Any) -> None:
+        """Handle one delivered message. Subclasses implement."""
+        raise NotImplementedError
+
+    def send(self, dst: str, payload: Any, size_bytes: int = 0) -> None:
+        """Send a message through the network."""
+        self.network.send(self.name, dst, payload, size_bytes=size_bytes)
+
+
+class ReplicaBase(NodeBase):
+    """Base class for protocol replicas.
+
+    A replica owns a state machine instance, a signing principal, and
+    standard counters.  Subclasses implement the protocol proper.
+    """
+
+    def __init__(self, replica_id: int, config: ClusterConfig,
+                 sim: Simulator, network: Network, keystore: KeyStore,
+                 app_factory: Callable[[], StateMachine],
+                 site: str, cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(sim, network,
+                         name=f"r{replica_id}", site=site,
+                         keystore=keystore, cost_model=cost_model)
+        self.replica_id = replica_id
+        self.config = config
+        self.app = app_factory()
+        self._app_factory = app_factory
+        self.principal = replica_principal(replica_id)
+        #: Execution order observed by this replica, recorded for the safety
+        #: checker: list of (seqno, request id) pairs.
+        self.execution_trace: List[tuple] = []
+        #: Count of committed requests (not batches).
+        self.committed_requests = 0
+
+    # -- crypto convenience, charging CPU --------------------------------
+    def sign(self, payload: Any):
+        """Sign as this replica, charging signature CPU cost."""
+        self.cpu.charge_sign()
+        return self.keystore.sign(self.principal, payload)
+
+    def verify(self, signature, payload: Any) -> bool:
+        """Verify a signature, charging CPU cost."""
+        self.cpu.charge_verify()
+        return self.keystore.verify(signature, payload)
+
+    def mac_for(self, receiver: str, payload: Any, size_bytes: int = 0):
+        """MAC a payload for ``receiver``, charging CPU cost."""
+        self.cpu.charge_mac(size_bytes)
+        return self.keystore.mac(self.principal, receiver, payload)
+
+    # -- lifecycle --------------------------------------------------------
+    def recover(self) -> None:
+        """Recover with a fresh volatile state.
+
+        The paper's replicas recover from their *durable* logs; our protocol
+        subclasses override to decide what survives a crash.  The base class
+        restarts the application from scratch (state transfer re-fills it).
+        """
+        super().recover()
+        self.app = self._app_factory()
+
+    # -- protocol hooks -----------------------------------------------
+    def replica_name(self, replica_id: int) -> str:
+        """Network name of a peer replica."""
+        return f"r{replica_id}"
+
+    def all_replica_names(self) -> List[str]:
+        """Network names of the whole cluster, including self."""
+        assert self.config.n is not None
+        return [f"r{i}" for i in range(self.config.n)]
+
+    def other_replica_names(self) -> List[str]:
+        """Network names of all peers."""
+        return [n for n in self.all_replica_names() if n != self.name]
+
+
+class SmrClientBase(NodeBase):
+    """Base class for protocol clients.
+
+    Provides signed request construction and per-request latency recording;
+    the closed-loop driving logic lives in :mod:`repro.workloads.clients`.
+    """
+
+    def __init__(self, client_id: int, config: ClusterConfig,
+                 sim: Simulator, network: Network, keystore: KeyStore,
+                 site: str, cost_model: Optional[CostModel] = None) -> None:
+        super().__init__(sim, network,
+                         name=f"c{client_id}", site=site,
+                         keystore=keystore, cost_model=cost_model)
+        self.client_id = client_id
+        self.config = config
+        self.principal = client_principal(client_id)
+        self.timestamp = 0
+        #: Completed operations: list of (send time, commit time, rid).
+        self.completions: List[tuple] = []
+        #: Callback invoked on each commit: ``on_commit(rid, latency_ms)``.
+        self.on_commit: Optional[Callable[[tuple, float], None]] = None
+
+    def sign(self, payload: Any):
+        """Sign as this client, charging CPU."""
+        self.cpu.charge_sign()
+        return self.keystore.sign(self.principal, payload)
+
+    def next_timestamp(self) -> int:
+        """Monotonically increasing per-client timestamp ``ts_c``."""
+        self.timestamp += 1
+        return self.timestamp
+
+    def record_completion(self, rid: tuple, sent_at: float) -> None:
+        """Record a committed request and fire the harness callback."""
+        latency = self.sim.now - sent_at
+        self.completions.append((sent_at, self.sim.now, rid))
+        if self.on_commit is not None:
+            self.on_commit(rid, latency)
+
+
+class ClusterRuntime:
+    """Owns all moving parts of one simulated deployment.
+
+    Protocol factories build replicas/clients into this container; the
+    harness and the fault injector operate on it.
+    """
+
+    def __init__(self, config: ClusterConfig, sim: Simulator,
+                 network: Network, keystore: KeyStore) -> None:
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.keystore = keystore
+        self.replicas: List[ReplicaBase] = []
+        self.clients: List[SmrClientBase] = []
+
+    def add_replica(self, replica: ReplicaBase) -> None:
+        """Register a replica (must be added in id order)."""
+        if replica.replica_id != len(self.replicas):
+            raise ConfigurationError(
+                f"replicas must be added in order; expected id "
+                f"{len(self.replicas)}, got {replica.replica_id}"
+            )
+        self.replicas.append(replica)
+
+    def add_client(self, client: SmrClientBase) -> None:
+        """Register a client."""
+        self.clients.append(client)
+
+    def replica(self, replica_id: int) -> ReplicaBase:
+        """Replica by id."""
+        return self.replicas[replica_id]
+
+    def correct_replicas(self) -> List[ReplicaBase]:
+        """All replicas currently up (the fault injector marks crashes)."""
+        return [r for r in self.replicas if not r.crashed]
+
+    def run(self, until: float) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)

@@ -1,0 +1,192 @@
+"""Higher-level replicated services built on the StateMachine interface.
+
+These are the kinds of applications the paper motivates XFT for
+(coordination primitives that must not corrupt state under non-crash
+faults):
+
+* :class:`LockService` -- advisory locks with lease-style ownership and
+  deterministic FIFO hand-off.
+* :class:`FifoQueue` -- a replicated multi-producer/multi-consumer queue.
+* :class:`CounterService` -- named counters with conditional updates.
+
+All operations are tuples, all errors are returned as values (a
+deterministic state machine must reply identically on every replica).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.smr.app import StateMachine
+
+
+class LockService(StateMachine):
+    """Advisory locks with FIFO waiters.
+
+    Operations:
+
+    * ``("acquire", lock, owner)`` -> ``("ok", "granted")`` or
+      ``("ok", "queued")``
+    * ``("release", lock, owner)`` -> ``("ok", new_owner_or_none)`` or
+      ``("error", "NotOwner")``
+    * ``("holder", lock)`` -> ``("ok", owner_or_none)``
+    * ``("waiters", lock)`` -> ``("ok", (owner, ...))``
+    """
+
+    def __init__(self) -> None:
+        self._holders: Dict[str, int] = {}
+        self._waiters: Dict[str, Deque[int]] = {}
+
+    def execute(self, operation: Any) -> Any:
+        if not isinstance(operation, tuple) or not operation:
+            return ("error", "BadArguments")
+        verb = operation[0]
+        if verb == "acquire":
+            _, lock, owner = operation
+            holder = self._holders.get(lock)
+            if holder is None:
+                self._holders[lock] = owner
+                return ("ok", "granted")
+            if holder == owner:
+                return ("ok", "granted")  # re-entrant
+            queue = self._waiters.setdefault(lock, deque())
+            if owner not in queue:
+                queue.append(owner)
+            return ("ok", "queued")
+        if verb == "release":
+            _, lock, owner = operation
+            if self._holders.get(lock) != owner:
+                return ("error", "NotOwner")
+            queue = self._waiters.get(lock)
+            if queue:
+                next_owner = queue.popleft()
+                self._holders[lock] = next_owner
+                return ("ok", next_owner)
+            del self._holders[lock]
+            return ("ok", None)
+        if verb == "holder":
+            _, lock = operation
+            return ("ok", self._holders.get(lock))
+        if verb == "waiters":
+            _, lock = operation
+            return ("ok", tuple(self._waiters.get(lock, ())))
+        return ("error", "BadArguments")
+
+    def state_digest(self) -> bytes:
+        h = hashlib.sha256()
+        for lock in sorted(self._holders):
+            h.update(lock.encode())
+            h.update(str(self._holders[lock]).encode())
+            h.update(str(tuple(self._waiters.get(lock, ()))).encode())
+        return h.digest()
+
+    def snapshot(self) -> Any:
+        return ({k: v for k, v in self._holders.items()},
+                {k: list(q) for k, q in self._waiters.items()})
+
+    def restore(self, snapshot: Any) -> None:
+        holders, waiters = snapshot
+        self._holders = dict(holders)
+        self._waiters = {k: deque(q) for k, q in waiters.items()}
+
+
+class FifoQueue(StateMachine):
+    """A replicated multi-producer/multi-consumer FIFO queue.
+
+    Operations:
+
+    * ``("enqueue", queue, item)`` -> ``("ok", depth)``
+    * ``("dequeue", queue)`` -> ``("ok", item_or_none)``
+    * ``("peek", queue)`` -> ``("ok", item_or_none)``
+    * ``("depth", queue)`` -> ``("ok", n)``
+    """
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[Any]] = {}
+
+    def execute(self, operation: Any) -> Any:
+        if not isinstance(operation, tuple) or not operation:
+            return ("error", "BadArguments")
+        verb = operation[0]
+        if verb == "enqueue":
+            _, name, item = operation
+            queue = self._queues.setdefault(name, deque())
+            queue.append(item)
+            return ("ok", len(queue))
+        if verb == "dequeue":
+            _, name = operation
+            queue = self._queues.get(name)
+            if not queue:
+                return ("ok", None)
+            return ("ok", queue.popleft())
+        if verb == "peek":
+            _, name = operation
+            queue = self._queues.get(name)
+            return ("ok", queue[0] if queue else None)
+        if verb == "depth":
+            _, name = operation
+            return ("ok", len(self._queues.get(name, ())))
+        return ("error", "BadArguments")
+
+    def state_digest(self) -> bytes:
+        h = hashlib.sha256()
+        for name in sorted(self._queues):
+            h.update(name.encode())
+            h.update(repr(list(self._queues[name])).encode())
+        return h.digest()
+
+    def snapshot(self) -> Any:
+        return {name: list(items) for name, items in self._queues.items()}
+
+    def restore(self, snapshot: Any) -> None:
+        self._queues = {name: deque(items)
+                        for name, items in snapshot.items()}
+
+
+class CounterService(StateMachine):
+    """Named counters with conditional updates.
+
+    Operations:
+
+    * ``("incr", name, delta)`` -> ``("ok", new_value)``
+    * ``("get", name)`` -> ``("ok", value)``
+    * ``("cas", name, expected, new)`` -> ``("ok", bool)``
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def execute(self, operation: Any) -> Any:
+        if not isinstance(operation, tuple) or not operation:
+            return ("error", "BadArguments")
+        verb = operation[0]
+        if verb == "incr":
+            _, name, delta = operation
+            value = self._counters.get(name, 0) + delta
+            self._counters[name] = value
+            return ("ok", value)
+        if verb == "get":
+            _, name = operation
+            return ("ok", self._counters.get(name, 0))
+        if verb == "cas":
+            _, name, expected, new = operation
+            if self._counters.get(name, 0) == expected:
+                self._counters[name] = new
+                return ("ok", True)
+            return ("ok", False)
+        return ("error", "BadArguments")
+
+    def state_digest(self) -> bytes:
+        h = hashlib.sha256()
+        for name in sorted(self._counters):
+            h.update(name.encode())
+            h.update(str(self._counters[name]).encode())
+        return h.digest()
+
+    def snapshot(self) -> Any:
+        return dict(self._counters)
+
+    def restore(self, snapshot: Any) -> None:
+        self._counters = dict(snapshot)

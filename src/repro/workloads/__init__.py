@@ -1,0 +1,6 @@
+"""Benchmark workloads: closed-loop drivers and metrics collection."""
+
+from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.metrics import LatencyRecorder, ThroughputRecorder
+
+__all__ = ["ClosedLoopDriver", "LatencyRecorder", "ThroughputRecorder"]

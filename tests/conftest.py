@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.protocols.registry import build_cluster
+from repro.workloads.clients import ClosedLoopDriver
+
+
+#: Tight timeouts so fault scenarios converge quickly in unit tests.
+FAST_TIMEOUTS = dict(
+    delta_ms=50.0,
+    request_retransmit_ms=200.0,
+    view_change_timeout_ms=400.0,
+    batch_timeout_ms=2.0,
+)
+
+
+def make_cluster(protocol=ProtocolName.XPAXOS, t=1, num_clients=3,
+                 **overrides):
+    """A small single-datacenter cluster with fast timeouts."""
+    params = dict(FAST_TIMEOUTS)
+    params.update(overrides)
+    config = ClusterConfig(t=t, protocol=protocol, **params)
+    return build_cluster(config, num_clients=num_clients, seed=42)
+
+
+def run_workload(runtime, duration_ms=3_000.0, warmup_ms=100.0,
+                 request_size=128):
+    """Drive the cluster's clients in a closed loop; returns the driver."""
+    workload = WorkloadConfig(
+        num_clients=len(runtime.clients),
+        request_size=request_size,
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+    )
+    driver = ClosedLoopDriver(runtime, workload)
+    driver.run()
+    return driver
+
+
+@pytest.fixture
+def xpaxos_t1():
+    """A 3-replica XPaxos cluster with 3 clients."""
+    return make_cluster(ProtocolName.XPAXOS, t=1)
+
+
+@pytest.fixture
+def xpaxos_t2():
+    """A 5-replica XPaxos cluster with 3 clients."""
+    return make_cluster(ProtocolName.XPAXOS, t=2)

@@ -1,0 +1,67 @@
+"""Tests for the crypto CPU cost model and meter."""
+
+import pytest
+
+from repro.crypto.costs import CostModel, CpuMeter
+
+
+class TestCostModel:
+    def test_defaults_reflect_rsa_vs_hmac_gap(self):
+        model = CostModel()
+        # The whole point of Figure 8: signing is orders of magnitude more
+        # expensive than MACs.
+        assert model.sign_cost() > 100 * model.mac_cost(1024)
+
+    def test_mac_cost_scales_with_size(self):
+        model = CostModel()
+        assert model.mac_cost(4096) > model.mac_cost(1024)
+
+    def test_digest_cost_scales_with_size(self):
+        model = CostModel()
+        assert model.digest_cost(4096) > model.digest_cost(0)
+
+    def test_free_model_is_zero(self):
+        model = CostModel.free()
+        assert model.sign_cost() == 0
+        assert model.verify_cost() == 0
+        assert model.mac_cost(10_000) == 0
+        assert model.digest_cost(10_000) == 0
+
+
+class TestCpuMeter:
+    def test_accumulates_by_category(self):
+        meter = CpuMeter(CostModel())
+        meter.charge_sign()
+        meter.charge_sign()
+        meter.charge_verify()
+        breakdown = meter.breakdown()
+        assert breakdown["sign"] == 2 * CostModel().sign_us
+        assert breakdown["verify"] == CostModel().verify_us
+
+    def test_utilisation_percent(self):
+        meter = CpuMeter(CostModel())
+        # 8000 us busy over 1 ms elapsed = 800% of one core = all 8 cores.
+        meter.charge("x", 8_000.0)
+        assert meter.utilisation_percent(1.0) == pytest.approx(800.0)
+
+    def test_utilisation_capped_at_core_count(self):
+        meter = CpuMeter(CostModel(cores=4))
+        meter.charge("x", 1e9)
+        assert meter.utilisation_percent(1.0) == 400.0
+
+    def test_utilisation_zero_for_zero_elapsed(self):
+        meter = CpuMeter(CostModel())
+        meter.charge_sign()
+        assert meter.utilisation_percent(0.0) == 0.0
+
+    def test_negative_charge_rejected(self):
+        meter = CpuMeter(CostModel())
+        with pytest.raises(ValueError):
+            meter.charge("x", -1.0)
+
+    def test_reset(self):
+        meter = CpuMeter(CostModel())
+        meter.charge_mac(1024)
+        meter.reset()
+        assert meter.busy_us == 0.0
+        assert meter.breakdown() == {}

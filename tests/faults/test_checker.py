@@ -1,0 +1,105 @@
+"""Tests for the safety checker and anarchy accounting."""
+
+import pytest
+
+from repro.faults.checker import SafetyChecker, check_total_order
+from tests.conftest import make_cluster
+
+
+class TestTotalOrderChecker:
+    def test_identical_traces_pass(self):
+        traces = {0: [(1, ("c0", 1)), (2, ("c1", 1))],
+                  1: [(1, ("c0", 1)), (2, ("c1", 1))]}
+        assert check_total_order(traces) == []
+
+    def test_divergent_slot_detected(self):
+        traces = {0: [(1, ("c0", 1))],
+                  1: [(1, ("c1", 1))]}
+        violations = check_total_order(traces)
+        assert len(violations) == 1
+        assert violations[0].seqno == 1
+
+    def test_prefix_traces_pass(self):
+        """A replica that is simply behind is not divergent."""
+        traces = {0: [(1, ("c0", 1)), (2, ("c1", 1))],
+                  1: [(1, ("c0", 1))]}
+        assert check_total_order(traces) == []
+
+    def test_batch_slots_compared_as_tuples(self):
+        traces = {0: [(1, ("c0", 1)), (1, ("c1", 1))],
+                  1: [(1, ("c0", 1)), (1, ("c1", 1))]}
+        assert check_total_order(traces) == []
+        traces_swapped = {0: [(1, ("c0", 1)), (1, ("c1", 1))],
+                          1: [(1, ("c1", 1)), (1, ("c0", 1))]}
+        assert check_total_order(traces_swapped)
+
+    def test_empty_traces_pass(self):
+        assert check_total_order({0: [], 1: []}) == []
+
+
+class TestAnarchyAccounting:
+    def test_healthy_cluster_not_in_anarchy(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime)
+        assert checker.fault_counts() == (0, 0, 0)
+        assert not checker.in_anarchy()
+
+    def test_single_byzantine_within_threshold_not_anarchy(self):
+        runtime = make_cluster()  # t = 1
+        checker = SafetyChecker(runtime, non_crash_faulty=[0])
+        assert checker.fault_counts() == (1, 0, 0)
+        assert not checker.in_anarchy()  # tnc + tc + tp = 1 <= t
+
+    def test_byzantine_plus_crash_is_anarchy(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime, non_crash_faulty=[0])
+        runtime.replica(1).crash()
+        assert checker.fault_counts() == (1, 1, 0)
+        assert checker.in_anarchy()
+
+    def test_byzantine_plus_partition_is_anarchy(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime, non_crash_faulty=[0])
+        runtime.network.partitions.isolate("r1", ["r0", "r2"])
+        tnc, tc, tp = checker.fault_counts()
+        assert (tnc, tc, tp) == (1, 0, 1)
+        assert checker.in_anarchy()
+
+    def test_crashes_alone_never_anarchy(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime)
+        runtime.replica(0).crash()
+        runtime.replica(1).crash()
+        assert not checker.in_anarchy()  # tnc == 0
+
+    def test_observation_latches(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime, non_crash_faulty=[0])
+        runtime.replica(1).crash()
+        assert checker.observe()
+        runtime.replica(1).recover()
+        assert not checker.observe()
+        assert checker.anarchy_observed  # latched
+
+    def test_assert_safe_passes_on_clean_run(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime)
+        checker.assert_safe()
+
+    def test_assert_safe_raises_on_divergence_outside_anarchy(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime)
+        runtime.replica(0).execution_trace.append((1, ("c0", 1)))
+        runtime.replica(1).execution_trace.append((1, ("c9", 9)))
+        with pytest.raises(AssertionError):
+            checker.assert_safe()
+
+    def test_divergence_tolerated_in_anarchy(self):
+        """Definition 3: safety is only promised outside anarchy."""
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime, non_crash_faulty=[2])
+        runtime.replica(1).crash()
+        checker.observe()  # anarchy latched
+        runtime.replica(0).execution_trace.append((1, ("c0", 1)))
+        runtime.replica(1).execution_trace.append((1, ("c9", 9)))
+        checker.assert_safe()  # no exception: anarchy was observed

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.protocol == "xpaxos"
+        assert args.clients == [8, 32, 96]
+
+    def test_tables_requires_which(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables"])
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--protocol", "raft"])
+
+
+class TestCommands:
+    def test_reliability_command(self, capsys):
+        code = main(["reliability", "--nines-benign", "4",
+                     "--nines-correct", "3", "--nines-synchrony", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CFT=3  XPaxos=5  BFT=7" in out
+
+    def test_tables_command(self, capsys):
+        code = main(["tables", "--which", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "9avail" in out
+
+    def test_bench_command_small(self, capsys):
+        code = main(["bench", "--protocol", "paxos", "--clients", "4",
+                     "--duration", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paxos" in out
+        assert "kops/s" in out
+
+    def test_compare_command_small(self, capsys):
+        code = main(["compare", "--clients", "4", "--duration", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for protocol in ("xpaxos", "paxos", "pbft", "zyzzyva", "zab"):
+            assert protocol in out
+
+    def test_faults_command_small(self, capsys):
+        code = main(["faults", "--clients", "8", "--duration", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "view changes" in out
+        assert "longest outage" in out

@@ -1,0 +1,53 @@
+"""Tests for the Table 4 placement helpers."""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.common.errors import ConfigurationError
+from repro.harness.configs import (
+    common_case_sites,
+    paper_config,
+    replica_placement_table,
+)
+
+
+class TestTable4:
+    def test_t1_placement_matches_paper(self):
+        table = replica_placement_table(t=1)
+        # Table 4: every protocol's primary is in CA; XPaxos has its
+        # follower in VA and passive in JP; PBFT/Zyzzyva add EU.
+        assert table["xpaxos"] == ("CA", "VA", "JP")
+        assert table["paxos"] == ("CA", "VA", "JP")
+        assert table["zab"] == ("CA", "VA", "JP")
+        assert table["pbft"] == ("CA", "VA", "JP", "EU")
+        assert table["zyzzyva"] == ("CA", "VA", "JP", "EU")
+
+    def test_t2_placement_has_seven_sites_for_bft(self):
+        table = replica_placement_table(t=2)
+        assert len(table["pbft"]) == 7
+        assert len(table["xpaxos"]) == 5
+
+    def test_unsupported_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replica_placement_table(t=3)
+
+
+class TestCommonCaseSites:
+    def test_xpaxos_t1_common_case_is_ca_va(self):
+        assert common_case_sites(ProtocolName.XPAXOS, 1) == ("CA", "VA")
+
+    def test_pbft_t1_common_case_is_three_sites(self):
+        assert common_case_sites(ProtocolName.PBFT, 1) == \
+            ("CA", "VA", "JP")
+
+    def test_zyzzyva_uses_all(self):
+        assert len(common_case_sites(ProtocolName.ZYZZYVA, 1)) == 4
+
+
+class TestPaperConfig:
+    def test_defaults(self):
+        config = paper_config(ProtocolName.XPAXOS)
+        assert config.n == 3
+        assert config.batch_size == 20
+        assert config.delta_ms == 1250.0
+        assert config.sites == ("CA", "VA", "JP")

@@ -1,0 +1,68 @@
+"""Tests for the fault-timeline harness (the Figure 9 machinery)."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.crypto.costs import CostModel
+from repro.faults.injector import FaultSchedule
+from repro.harness.runner import ExperimentRunner
+from repro.harness.timeline import run_fault_timeline, _zero_gaps
+from repro.net.latency import LatencyModel
+
+
+def runner():
+    return ExperimentRunner(
+        latency_factory=lambda seed: LatencyModel.uniform(
+            ["CA", "VA", "JP"], one_way_ms=1.0, seed=seed),
+        cost_model=CostModel.free())
+
+
+def config():
+    return ClusterConfig(t=1, protocol=ProtocolName.XPAXOS, delta_ms=50.0,
+                         request_retransmit_ms=300.0,
+                         view_change_timeout_ms=600.0, batch_timeout_ms=2.0)
+
+
+class TestTimeline:
+    def test_crash_produces_gap_then_recovery(self):
+        workload = WorkloadConfig(num_clients=4, request_size=128,
+                                  duration_ms=8_000.0, warmup_ms=100.0)
+        schedule = FaultSchedule().crash_for(2_000.0, 1, 1_000.0)
+        result = run_fault_timeline(runner(), config(), workload, schedule,
+                                    window_ms=200.0)
+        assert result.committed > 500
+        # Views rotated at least once per affected replica.
+        assert max(result.final_views.values()) >= 1
+        # Throughput resumed: windows exist near the end of the run.
+        last_window = max(start for start, _ in result.throughput_series)
+        assert last_window >= 7_000.0
+
+    def test_fault_free_timeline_has_no_gaps(self):
+        workload = WorkloadConfig(num_clients=4, request_size=128,
+                                  duration_ms=3_000.0, warmup_ms=100.0)
+        result = run_fault_timeline(runner(), config(), workload,
+                                    FaultSchedule(), window_ms=200.0)
+        assert result.longest_gap_ms() == 0.0
+        assert all(v == 0 for v in result.final_views.values())
+
+
+class TestZeroGaps:
+    def test_interior_gap_measured(self):
+        series = [(0.0, 1.0), (200.0, 1.0), (800.0, 1.0)]
+        gaps = _zero_gaps(series, 200.0,
+                          WorkloadConfig(num_clients=1, duration_ms=1_000.0,
+                                         warmup_ms=0.0))
+        assert gaps == [400.0]  # windows 400 and 600 empty
+
+    def test_no_gaps(self):
+        series = [(0.0, 1.0), (200.0, 1.0)]
+        assert _zero_gaps(series, 200.0,
+                          WorkloadConfig(num_clients=1,
+                                         duration_ms=400.0,
+                                         warmup_ms=0.0)) == []
+
+    def test_empty_series(self):
+        assert _zero_gaps([], 200.0,
+                          WorkloadConfig(num_clients=1,
+                                         duration_ms=400.0,
+                                         warmup_ms=0.0)) == []

@@ -1,0 +1,124 @@
+"""Tests for message tracing and sequence-diagram rendering."""
+
+import pytest
+
+from repro.harness.tracing import (
+    MessageTracer,
+    TraceEvent,
+    message_complexity,
+    render_sequence_diagram,
+)
+from tests.conftest import make_cluster, run_workload
+
+
+class TestTracer:
+    def test_records_protocol_messages(self, xpaxos_t1):
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        run_workload(xpaxos_t1, duration_ms=300.0)
+        counts = tracer.count_by_kind()
+        # The t=1 fast path: Replicate in, FastPrepare out, FastCommit
+        # back, ReplyMsg to the client, LazyCommit to the passive.
+        for kind in ("Replicate", "FastPrepare", "FastCommit",
+                     "ReplyMsg", "LazyCommit"):
+            assert counts.get(kind, 0) > 0, counts
+
+    def test_pause_resume(self, xpaxos_t1):
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        tracer.pause()
+        run_workload(xpaxos_t1, duration_ms=200.0)
+        assert tracer.events == []
+        tracer.resume()
+        from repro.common.config import WorkloadConfig
+        from repro.workloads.clients import ClosedLoopDriver
+
+        driver = ClosedLoopDriver(
+            xpaxos_t1, WorkloadConfig(num_clients=3, request_size=32,
+                                      duration_ms=500.0, warmup_ms=400.0))
+        driver.start()
+        xpaxos_t1.sim.run(until=500.0)
+        assert tracer.events
+
+    def test_filter_by_kind_and_participants(self, xpaxos_t1):
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        run_workload(xpaxos_t1, duration_ms=300.0)
+        only_prepares = tracer.filter(kinds={"FastPrepare"})
+        assert only_prepares
+        assert all(e.kind == "FastPrepare" for e in only_prepares)
+        assert all(e.src == "r0" and e.dst == "r1" for e in only_prepares)
+        replicas_only = tracer.filter(participants={"r0", "r1"})
+        assert all(e.src in ("r0", "r1") and e.dst in ("r0", "r1")
+                   for e in replicas_only)
+
+    def test_filter_time_window_and_limit(self, xpaxos_t1):
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        run_workload(xpaxos_t1, duration_ms=400.0)
+        window = tracer.filter(start_ms=100.0, end_ms=200.0)
+        assert all(100.0 <= e.time <= 200.0 for e in window)
+        assert len(tracer.filter(limit=5)) == 5
+
+    def test_clear(self, xpaxos_t1):
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        run_workload(xpaxos_t1, duration_ms=200.0)
+        tracer.clear()
+        assert tracer.events == []
+
+
+class TestSequenceDiagram:
+    def test_renders_figure2b_pattern(self, xpaxos_t1):
+        """The t=1 common case renders as the paper's Figure 2b:
+        REPLICATE, COMMIT (m0), COMMIT (m1), REPLY."""
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        client = xpaxos_t1.clients[0]
+        client.propose("op", size_bytes=16)
+        xpaxos_t1.sim.run(until=500.0)
+        events = tracer.filter(
+            kinds={"Replicate", "FastPrepare", "FastCommit", "ReplyMsg"},
+            participants={"c0", "r0", "r1"}, limit=4)
+        diagram = render_sequence_diagram(events,
+                                          participants=["c0", "r0", "r1"])
+        lines = diagram.splitlines()
+        assert "c0" in lines[0] and "r1" in lines[0]
+        assert "Replicate" in diagram
+        assert "FastPrepare" in diagram
+        assert "FastCommit" in diagram
+        assert "ReplyMsg" in diagram
+        # Message order matches Figure 2b.
+        order = [e.kind for e in events]
+        assert order == ["Replicate", "FastPrepare", "FastCommit",
+                         "ReplyMsg"]
+
+    def test_arrow_directions(self):
+        events = [
+            TraceEvent(1.0, "a", "b", "Ping", None),
+            TraceEvent(2.0, "b", "a", "Pong", None),
+        ]
+        diagram = render_sequence_diagram(events, participants=["a", "b"])
+        lines = diagram.splitlines()
+        assert ">" in lines[2]   # a -> b
+        assert "<" in lines[3]   # b -> a
+
+    def test_unknown_participants_skipped(self):
+        events = [TraceEvent(1.0, "x", "y", "Msg", None)]
+        diagram = render_sequence_diagram(events, participants=["a", "b"])
+        assert "Msg" not in diagram
+
+
+class TestMessageComplexity:
+    def test_xpaxos_t1_has_cft_like_complexity(self, xpaxos_t1):
+        """XPaxos's replica-to-replica message count per batch is 2 for
+        t = 1 (FastPrepare + FastCommit) -- 'roughly speaking, the message
+        pattern ... of state-of-the-art CFT protocols' (Section 4.1)."""
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        driver = run_workload(xpaxos_t1, duration_ms=500.0)
+        counts = tracer.count_by_kind()
+        batches = counts.get("FastPrepare", 0)
+        assert batches > 0
+        assert counts.get("FastCommit", 0) == pytest.approx(batches, abs=2)
+
+    def test_complexity_helper(self, xpaxos_t1):
+        tracer = MessageTracer.attach(xpaxos_t1.network)
+        driver = run_workload(xpaxos_t1, duration_ms=500.0)
+        per_op = message_complexity(tracer, driver.throughput.total)
+        assert per_op > 0
+        with pytest.raises(ValueError):
+            message_complexity(tracer, 0)

@@ -1,0 +1,63 @@
+"""Tests for burst-correlated latency sampling."""
+
+import pytest
+
+from repro.net.latency import LatencyModel
+
+
+class TestWindowCorrelation:
+    def test_same_window_same_sample(self):
+        model = LatencyModel.ec2(seed=3)
+        a = model.sample_one_way("VA", "CA", now=100.0)
+        b = model.sample_one_way("VA", "CA", now=120.0)  # same 250ms window
+        assert a == b
+
+    def test_different_windows_differ(self):
+        model = LatencyModel.ec2(seed=3)
+        samples = {model.sample_one_way("VA", "CA", now=float(w) * 250.0)
+                   for w in range(50)}
+        assert len(samples) > 40  # essentially all distinct
+
+    def test_directions_are_independent(self):
+        model = LatencyModel.ec2(seed=3)
+        forward = model.sample_one_way("VA", "CA", now=0.0)
+        backward = model.sample_one_way("CA", "VA", now=0.0)
+        assert forward != backward
+
+    def test_links_are_independent(self):
+        model = LatencyModel.ec2(seed=3)
+        a = model.sample_one_way("VA", "CA", now=0.0)
+        b = model.sample_one_way("VA", "EU", now=0.0)
+        assert a != b
+
+    def test_no_timestamp_means_iid(self):
+        model = LatencyModel.ec2(seed=3)
+        samples = {model.sample_one_way("VA", "CA") for _ in range(20)}
+        assert len(samples) == 20
+
+    def test_correlation_disabled_by_zero_window(self):
+        model = LatencyModel.ec2(seed=3)
+        model.correlation_window_ms = 0.0
+        a = model.sample_one_way("VA", "CA", now=100.0)
+        b = model.sample_one_way("VA", "CA", now=100.0)
+        assert a != b
+
+    def test_marginal_distribution_unchanged(self):
+        """Windowed draws still follow the fitted log-normal: the median
+        over many windows tracks Table 3's average/2."""
+        model = LatencyModel.ec2(seed=9)
+        samples = sorted(
+            model.sample_one_way("VA", "CA", now=float(w) * 250.0)
+            for w in range(4_001))
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(44.0, rel=0.1)
+
+    def test_deterministic_mode_ignores_window(self):
+        model = LatencyModel.ec2(seed=1, deterministic=True)
+        assert model.sample_one_way("VA", "CA", now=0.0) == 44.0
+
+    def test_cache_bounded(self):
+        model = LatencyModel.ec2(seed=4)
+        for w in range(70_000):
+            model.sample_one_way("VA", "CA", now=float(w) * 250.0)
+        assert len(model._window_draws) <= 65_537

@@ -1,0 +1,179 @@
+"""Tests for the message-delivery fabric."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.net.network import Endpoint, Network
+from repro.sim.core import Simulator
+
+
+def make_net(fifo=False, bandwidth=None, sites=("X", "Y")):
+    sim = Simulator()
+    latency = LatencyModel.uniform(sites, one_way_ms=5.0)
+    net = Network(sim, latency, bandwidth=bandwidth, fifo=fifo)
+    return sim, net
+
+
+class _Node:
+    def __init__(self, net, name, site):
+        self.inbox = []
+        self.up = True
+        net.attach(Endpoint(name, site,
+                            lambda src, p: self.inbox.append((src, p)),
+                            lambda: self.up))
+
+
+class TestDelivery:
+    def test_message_delivered_with_latency(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        net.send("a", "b", "hello")
+        sim.run()
+        assert b.inbox == [("a", "hello")]
+        assert sim.now == 5.0
+
+    def test_intra_site_latency(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "X")
+        net.send("a", "b", "m")
+        sim.run()
+        assert sim.now == net.latency.intra_site_ms
+
+    def test_broadcast(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        c = _Node(net, "c", "Y")
+        net.broadcast("a", ["b", "c"], "m")
+        sim.run()
+        assert b.inbox and c.inbox
+
+    def test_duplicate_endpoint_rejected(self):
+        _, net = make_net()
+        _Node(net, "a", "X")
+        with pytest.raises(ConfigurationError):
+            _Node(net, "a", "X")
+
+    def test_unknown_endpoint_rejected(self):
+        _, net = make_net()
+        _Node(net, "a", "X")
+        with pytest.raises(ConfigurationError):
+            net.send("a", "ghost", "m")
+
+
+class TestFaults:
+    def test_partitioned_pair_drops(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        net.partitions.block_pair("a", "b")
+        net.send("a", "b", "m")
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.messages_dropped_partition == 1
+
+    def test_crashed_receiver_drops_at_delivery(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        net.send("a", "b", "m")
+        sim.call_at(1.0, lambda: setattr(b, "up", False))
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.messages_dropped_crash == 1
+
+    def test_crashed_sender_cannot_send(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        a.up = False
+        net.send("a", "b", "m")
+        sim.run()
+        assert b.inbox == []
+
+    def test_receiver_up_again_after_drop_window(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        b.up = False
+        net.send("a", "b", "lost")
+        sim.run()
+        b.up = True
+        net.send("a", "b", "received")
+        sim.run()
+        assert b.inbox == [("a", "received")]
+
+    def test_send_filter_censors(self):
+        sim, net = make_net()
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        net.send_filter = lambda src, dst, payload: payload != "censored"
+        net.send("a", "b", "censored")
+        net.send("a", "b", "ok")
+        sim.run()
+        assert b.inbox == [("a", "ok")]
+
+
+class TestFifoMode:
+    def test_fifo_preserves_per_pair_order(self):
+        sim = Simulator()
+        latency = LatencyModel.uniform(["X", "Y"], one_way_ms=5.0,
+                                       jitter=3.0, seed=1)
+        latency.deterministic = False
+        net = Network(sim, latency, fifo=True)
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        for i in range(20):
+            net.send("a", "b", i)
+        sim.run()
+        assert [p for _, p in b.inbox] == list(range(20))
+
+
+class TestBandwidthIntegration:
+    def test_inter_site_charged_intra_site_free(self):
+        bw = BandwidthModel(default_rate=1000.0)
+        sim, net = make_net(bandwidth=bw)
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        c = _Node(net, "c", "X")
+        net.send("a", "b", "wan", size_bytes=10_000)  # 10 ms serialization
+        net.send("a", "c", "lan", size_bytes=10_000)  # free intra-site
+        sim.run()
+        assert bw.bytes_sent("a") == 10_000
+
+    def test_uplink_delays_departure(self):
+        bw = BandwidthModel(default_rate=1000.0)
+        sim, net = make_net(bandwidth=bw)
+        a = _Node(net, "a", "X")
+        b = _Node(net, "b", "Y")
+        net.send("a", "b", "m", size_bytes=10_000)
+        sim.run()
+        # 10 ms serialization + 5 ms propagation.
+        assert sim.now == pytest.approx(15.0)
+
+
+class TestTimely:
+    def test_timely_respects_partition(self):
+        _, net = make_net()
+        _Node(net, "a", "X")
+        _Node(net, "b", "Y")
+        assert net.timely("a", "b", delta_ms=10.0)
+        net.partitions.block_pair("a", "b")
+        assert not net.timely("a", "b", delta_ms=10.0)
+
+    def test_timely_respects_delta(self):
+        _, net = make_net()
+        _Node(net, "a", "X")
+        _Node(net, "b", "Y")
+        assert not net.timely("a", "b", delta_ms=1.0)  # mean one-way is 5
+
+    def test_timely_false_for_crashed(self):
+        _, net = make_net()
+        a = _Node(net, "a", "X")
+        _Node(net, "b", "Y")
+        a.up = False
+        assert not net.timely("a", "b", delta_ms=100.0)

@@ -1,0 +1,97 @@
+"""Property tests linking the probability and failure forms of the
+reliability closed forms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.reliability.models import (
+    epsilon_from_nines,
+    nines_of_failure,
+    p_bft_available,
+    p_bft_consistent,
+    p_cft_available,
+    p_cft_consistent,
+    p_xft_available,
+    p_xft_consistent,
+    q_bft_available,
+    q_bft_consistent,
+    q_cft_available,
+    q_cft_consistent,
+    q_xft_available,
+    q_xft_consistent,
+)
+
+probabilities = st.floats(min_value=0.5, max_value=0.9999,
+                          allow_nan=False)
+
+
+class TestComplementConsistency:
+    """For moderate probabilities (where double precision suffices), the
+    p-form and q-form must agree: p + q == 1."""
+
+    @given(p=probabilities, t=st.integers(1, 3))
+    def test_cft_consistent(self, p, t):
+        n = 2 * t + 1
+        assert p_cft_consistent(p, n) + q_cft_consistent(1 - p, n) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    @given(p=probabilities, t=st.integers(1, 3))
+    def test_bft_consistent(self, p, t):
+        assert p_bft_consistent(p, t) + q_bft_consistent(1 - p, t) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    @given(p=probabilities, t=st.integers(1, 3))
+    def test_xft_available(self, p, t):
+        assert p_xft_available(p, t) + q_xft_available(1 - p, t) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    @given(p=probabilities, t=st.integers(1, 3))
+    def test_bft_available(self, p, t):
+        assert p_bft_available(p, t) + q_bft_available(1 - p, t) == \
+            pytest.approx(1.0, abs=1e-12)
+
+    @given(p_benign=probabilities, sync=probabilities,
+           t=st.integers(1, 3))
+    def test_xft_consistent(self, p_benign, sync, t):
+        p_correct = p_benign * 0.999
+        total = (p_xft_consistent(p_benign, p_correct, sync, t)
+                 + q_xft_consistent(1 - p_benign, 1 - p_correct,
+                                    1 - sync, t))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(p_benign=probabilities, t=st.integers(1, 3))
+    def test_cft_available(self, p_benign, t):
+        p_available = p_benign * 0.99
+        total = (p_cft_available(p_available, p_benign, t)
+                 + q_cft_available(1 - p_available, 1 - p_benign, t))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestHighNinesPrecision:
+    """The q-forms keep full precision where the p-forms saturate."""
+
+    def test_deep_tail_is_resolved(self):
+        # 8 nines of availability at t=2: failure ~ C(5,3) * 1e-24.
+        q = q_xft_available(epsilon_from_nines(8), t=2)
+        assert 0 < q < 1e-22
+        assert nines_of_failure(q) == 23
+
+    def test_q_forms_monotone_in_epsilon(self):
+        values = [q_xft_available(epsilon_from_nines(k), t=1)
+                  for k in range(1, 12)]
+        assert values == sorted(values, reverse=True)
+
+    def test_xft_consistency_epsilon_monotone(self):
+        values = [q_xft_consistent(epsilon_from_nines(k),
+                                   epsilon_from_nines(max(k - 1, 1)),
+                                   epsilon_from_nines(3), t=1)
+                  for k in range(2, 12)]
+        assert values == sorted(values, reverse=True)
+
+    @given(k=st.integers(1, 15), t=st.integers(1, 3))
+    def test_q_in_unit_interval(self, k, t):
+        eps = epsilon_from_nines(k)
+        for q in (q_xft_available(eps, t), q_bft_available(eps, t),
+                  q_bft_consistent(eps, t),
+                  q_cft_consistent(eps, 2 * t + 1)):
+            assert 0.0 <= q <= 1.0

@@ -1,0 +1,176 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.core import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_call_at_executes_at_that_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(10.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.0]
+
+    def test_call_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(5.0, lambda: sim.call_after(3.0,
+                                                lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [8.0]
+
+    def test_call_soon_runs_at_current_instant(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(7.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1.0, lambda: None)
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(30.0, lambda: seen.append("c"))
+        sim.call_at(10.0, lambda: seen.append("a"))
+        sim.call_at(20.0, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        seen = []
+        for name in "abcdef":
+            sim.call_at(5.0, lambda n=name: seen.append(n))
+        sim.run()
+        assert seen == list("abcdef")
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_delivery_times_are_nondecreasing(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.call_at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_at(10.0, lambda: seen.append("x"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.call_at(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.active
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.call_at(10.0, lambda: None)
+        drop = sim.call_at(20.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.active
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(10.0, lambda: seen.append("early"))
+        sim.call_at(100.0, lambda: seen.append("late"))
+        sim.run(until=50.0)
+        assert seen == ["early"]
+        assert sim.now == 50.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=123.0)
+        assert sim.now == 123.0
+
+    def test_back_to_back_runs_compose(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(10.0, lambda: seen.append(1))
+        sim.call_at(60.0, lambda: seen.append(2))
+        sim.run(until=50.0)
+        sim.run(until=100.0)
+        assert seen == [1, 2]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.call_at(float(i), lambda: None)
+        executed = sim.run(max_events=4)
+        assert executed == 4
+        assert sim.pending == 6
+
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: seen.append(1))
+        sim.call_at(2.0, lambda: seen.append(2))
+        assert sim.step()
+        assert seen == [1]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert not Simulator().step()
+
+    def test_drain_detects_runaway_loops(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.call_after(1.0, reschedule)
+
+        sim.call_at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.drain(max_events=100)
+
+    def test_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.call_at(float(i), lambda: None)
+        sim.run()
+        assert sim.executed == 5
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def trace():
+            sim = Simulator()
+            log = []
+            # A small cascade of events with ties.
+            for i in range(20):
+                sim.call_at(float(i % 5),
+                            lambda i=i: log.append((sim.now, i)))
+            sim.run()
+            return log
+
+        assert trace() == trace()

@@ -1,0 +1,105 @@
+"""Tests for processes and restartable timers."""
+
+from repro.sim.core import Simulator
+from repro.sim.process import Process, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        timer = Timer(process, lambda: seen.append(sim.now))
+        timer.start(25.0)
+        sim.run()
+        assert seen == [25.0]
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        timer = Timer(process, lambda: seen.append(1))
+        timer.start(25.0)
+        timer.stop()
+        sim.run()
+        assert seen == []
+
+    def test_restart_extends_deadline(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        timer = Timer(process, lambda: seen.append(sim.now))
+        timer.start(10.0)
+        sim.call_at(5.0, lambda: timer.start(10.0))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_armed_and_deadline(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        timer = Timer(process, lambda: None)
+        assert not timer.armed
+        assert timer.deadline is None
+        timer.start(10.0)
+        assert timer.armed
+        assert timer.deadline == 10.0
+
+    def test_crash_disarms_timers(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        timer = Timer(process, lambda: seen.append(1))
+        timer.start(10.0)
+        process.crash()
+        sim.run()
+        assert seen == []
+        assert not timer.armed
+
+    def test_timer_does_not_fire_while_crashed(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        timer = Timer(process, lambda: seen.append(1))
+        timer.start(10.0)
+        # Crash after arming but before firing, without going through
+        # process.crash() timer cleanup (simulates a race).
+        sim.call_at(5.0, lambda: setattr(process, "_crashed", True))
+        sim.run()
+        assert seen == []
+
+
+class TestProcess:
+    def test_after_suppressed_when_crashed(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        process.after(10.0, lambda: seen.append(1))
+        process.crash()
+        sim.run()
+        assert seen == []
+
+    def test_after_fires_when_up(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        process.after(10.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.0]
+
+    def test_recover_clears_crashed_flag(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        process.crash()
+        assert process.crashed
+        process.recover()
+        assert not process.crashed
+
+    def test_events_scheduled_before_crash_fire_after_recover(self):
+        sim = Simulator()
+        process = Process(sim, "p")
+        seen = []
+        process.after(30.0, lambda: seen.append(sim.now))
+        sim.call_at(10.0, process.crash)
+        sim.call_at(20.0, process.recover)
+        sim.run()
+        assert seen == [30.0]

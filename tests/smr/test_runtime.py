@@ -1,0 +1,115 @@
+"""Tests for the shared node/cluster runtime."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, ProtocolName
+from repro.common.errors import ConfigurationError
+from repro.crypto.costs import CostModel
+from repro.crypto.primitives import KeyStore
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.sim.core import Simulator
+from repro.smr.app import NullService
+from repro.smr.runtime import ClusterRuntime, NodeBase, ReplicaBase
+from tests.conftest import make_cluster
+
+
+class _EchoNode(NodeBase):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((src, payload))
+
+
+def lan(sim):
+    return Network(sim, LatencyModel.uniform(["X"], one_way_ms=1.0))
+
+
+class TestNodeBase:
+    def test_messages_counted_and_dispatched(self):
+        sim = Simulator()
+        network = lan(sim)
+        keystore = KeyStore()
+        a = _EchoNode(sim, network, "a", "X", keystore)
+        b = _EchoNode(sim, network, "b", "X", keystore)
+        a.send("b", "hello")
+        sim.run()
+        assert b.received == [("a", "hello")]
+        assert b.messages_received == 1
+
+    def test_crashed_node_drops_deliveries(self):
+        sim = Simulator()
+        network = lan(sim)
+        keystore = KeyStore()
+        a = _EchoNode(sim, network, "a", "X", keystore)
+        b = _EchoNode(sim, network, "b", "X", keystore)
+        b.crash()
+        a.send("b", "hello")
+        sim.run()
+        assert b.received == []
+
+    def test_cpu_charged_on_replica_crypto(self):
+        runtime = make_cluster(num_clients=1)
+        replica = runtime.replica(0)
+        replica.cpu.cost_model = CostModel()  # type: ignore[misc]
+        replica.cpu = type(replica.cpu)(CostModel())
+        replica.sign("payload")
+        assert replica.cpu.busy_us == CostModel().sign_us
+
+
+class TestReplicaBase:
+    def test_name_helpers(self):
+        runtime = make_cluster()
+        replica = runtime.replica(1)
+        assert replica.replica_name(0) == "r0"
+        assert replica.all_replica_names() == ["r0", "r1", "r2"]
+        assert replica.other_replica_names() == ["r0", "r2"]
+
+    def test_sign_verify_roundtrip(self):
+        runtime = make_cluster()
+        replica = runtime.replica(0)
+        sig = replica.sign(("data", 1))
+        assert replica.verify(sig, ("data", 1))
+        assert not replica.verify(sig, ("data", 2))
+
+
+class TestClusterRuntime:
+    def test_replicas_must_be_added_in_order(self):
+        sim = Simulator()
+        network = lan(sim)
+        keystore = KeyStore()
+        config = ClusterConfig(t=1, protocol=ProtocolName.XPAXOS)
+        runtime = ClusterRuntime(config, sim, network, keystore)
+        from repro.protocols.xpaxos.replica import XPaxosReplica
+
+        out_of_order = XPaxosReplica(1, config, sim, network, keystore,
+                                     NullService, "X")
+        with pytest.raises(ConfigurationError):
+            runtime.add_replica(out_of_order)
+
+    def test_correct_replicas_excludes_crashed(self):
+        runtime = make_cluster()
+        runtime.replica(1).crash()
+        up = {r.replica_id for r in runtime.correct_replicas()}
+        assert up == {0, 2}
+
+
+class TestClientBase:
+    def test_timestamps_monotone(self):
+        runtime = make_cluster(num_clients=1)
+        client = runtime.clients[0]
+        assert client.next_timestamp() == 1
+        assert client.next_timestamp() == 2
+
+    def test_completion_recording(self):
+        runtime = make_cluster(num_clients=1)
+        client = runtime.clients[0]
+        seen = []
+        client.on_commit = lambda rid, latency: seen.append((rid, latency))
+        runtime.sim.call_at(10.0, lambda: client.record_completion(
+            (0, 1), sent_at=4.0))
+        runtime.sim.run()
+        assert seen == [((0, 1), 6.0)]
+        assert client.completions[0][2] == (0, 1)

@@ -1,0 +1,149 @@
+"""Tests for the higher-level replicated services."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.smr.services import CounterService, FifoQueue, LockService
+
+
+class TestLockService:
+    def test_grant_and_release(self):
+        locks = LockService()
+        assert locks.execute(("acquire", "L", 1)) == ("ok", "granted")
+        assert locks.execute(("holder", "L")) == ("ok", 1)
+        assert locks.execute(("release", "L", 1)) == ("ok", None)
+        assert locks.execute(("holder", "L")) == ("ok", None)
+
+    def test_fifo_handoff(self):
+        locks = LockService()
+        locks.execute(("acquire", "L", 1))
+        assert locks.execute(("acquire", "L", 2)) == ("ok", "queued")
+        assert locks.execute(("acquire", "L", 3)) == ("ok", "queued")
+        assert locks.execute(("waiters", "L")) == ("ok", (2, 3))
+        assert locks.execute(("release", "L", 1)) == ("ok", 2)
+        assert locks.execute(("holder", "L")) == ("ok", 2)
+        assert locks.execute(("release", "L", 2)) == ("ok", 3)
+
+    def test_reentrant_acquire(self):
+        locks = LockService()
+        locks.execute(("acquire", "L", 1))
+        assert locks.execute(("acquire", "L", 1)) == ("ok", "granted")
+
+    def test_release_by_non_owner_rejected(self):
+        locks = LockService()
+        locks.execute(("acquire", "L", 1))
+        assert locks.execute(("release", "L", 2)) == ("error", "NotOwner")
+
+    def test_duplicate_waiter_not_requeued(self):
+        locks = LockService()
+        locks.execute(("acquire", "L", 1))
+        locks.execute(("acquire", "L", 2))
+        locks.execute(("acquire", "L", 2))
+        assert locks.execute(("waiters", "L")) == ("ok", (2,))
+
+    def test_snapshot_roundtrip(self):
+        locks = LockService()
+        locks.execute(("acquire", "L", 1))
+        locks.execute(("acquire", "L", 2))
+        clone = LockService()
+        clone.restore(locks.snapshot())
+        assert clone.state_digest() == locks.state_digest()
+        assert clone.execute(("release", "L", 1)) == ("ok", 2)
+
+    def test_malformed_ops(self):
+        locks = LockService()
+        assert locks.execute("nope") == ("error", "BadArguments")
+        assert locks.execute(("bogus",)) == ("error", "BadArguments")
+
+
+class TestFifoQueue:
+    def test_enqueue_dequeue_order(self):
+        queue = FifoQueue()
+        for item in ("a", "b", "c"):
+            queue.execute(("enqueue", "q", item))
+        assert queue.execute(("dequeue", "q")) == ("ok", "a")
+        assert queue.execute(("dequeue", "q")) == ("ok", "b")
+        assert queue.execute(("peek", "q")) == ("ok", "c")
+        assert queue.execute(("depth", "q")) == ("ok", 1)
+
+    def test_dequeue_empty_returns_none(self):
+        assert FifoQueue().execute(("dequeue", "q")) == ("ok", None)
+
+    def test_independent_queues(self):
+        queue = FifoQueue()
+        queue.execute(("enqueue", "a", 1))
+        queue.execute(("enqueue", "b", 2))
+        assert queue.execute(("dequeue", "a")) == ("ok", 1)
+        assert queue.execute(("depth", "b")) == ("ok", 1)
+
+    def test_snapshot_roundtrip(self):
+        queue = FifoQueue()
+        queue.execute(("enqueue", "q", "x"))
+        clone = FifoQueue()
+        clone.restore(queue.snapshot())
+        assert clone.state_digest() == queue.state_digest()
+
+    @given(st.lists(st.integers(0, 100), max_size=30))
+    def test_queue_preserves_order_property(self, items):
+        queue = FifoQueue()
+        for item in items:
+            queue.execute(("enqueue", "q", item))
+        out = []
+        while True:
+            _, item = queue.execute(("dequeue", "q"))
+            if item is None:
+                break
+            out.append(item)
+        assert out == items
+
+
+class TestCounterService:
+    def test_incr_get(self):
+        counters = CounterService()
+        assert counters.execute(("incr", "c", 5)) == ("ok", 5)
+        assert counters.execute(("incr", "c", -2)) == ("ok", 3)
+        assert counters.execute(("get", "c")) == ("ok", 3)
+
+    def test_missing_counter_is_zero(self):
+        assert CounterService().execute(("get", "x")) == ("ok", 0)
+
+    def test_cas(self):
+        counters = CounterService()
+        assert counters.execute(("cas", "c", 0, 10)) == ("ok", True)
+        assert counters.execute(("cas", "c", 0, 20)) == ("ok", False)
+        assert counters.execute(("get", "c")) == ("ok", 10)
+
+    def test_snapshot_roundtrip(self):
+        counters = CounterService()
+        counters.execute(("incr", "c", 7))
+        clone = CounterService()
+        clone.restore(counters.snapshot())
+        assert clone.state_digest() == counters.state_digest()
+
+
+class TestReplicatedLockService:
+    def test_lock_handoff_through_xpaxos(self):
+        from repro.common.config import ClusterConfig, ProtocolName
+        from repro.protocols.registry import build_cluster
+        from tests.conftest import FAST_TIMEOUTS
+
+        config = ClusterConfig(t=1, protocol=ProtocolName.XPAXOS,
+                               **FAST_TIMEOUTS)
+        runtime = build_cluster(config, num_clients=2,
+                                app_factory=LockService, seed=17)
+
+        def call(client, op):
+            done = []
+            client.on_result = done.append
+            client.propose(op, size_bytes=32)
+            runtime.sim.run(until=runtime.sim.now + 2_000.0)
+            return done[0] if done else None
+
+        alice, bob = runtime.clients
+        assert call(alice, ("acquire", "L", 0)) == ("ok", "granted")
+        assert call(bob, ("acquire", "L", 1)) == ("ok", "queued")
+        assert call(alice, ("release", "L", 0)) == ("ok", 1)
+        assert call(bob, ("holder", "L")) == ("ok", 1)
+        digests = {r.app.state_digest() for r in runtime.replicas
+                   if r.committed_requests > 0}
+        assert len(digests) == 1

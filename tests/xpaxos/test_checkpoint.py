@@ -1,0 +1,101 @@
+"""Tests for checkpointing and lazy replication (Section 4.5)."""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from tests.conftest import make_cluster, run_workload
+
+
+class TestCheckpointing:
+    def test_logs_truncated_after_checkpoint(self):
+        runtime = make_cluster(checkpoint_period=10, num_clients=4)
+        run_workload(runtime, duration_ms=2_000.0)
+        primary = runtime.replica(0)
+        assert primary.stable_checkpoint is not None
+        assert primary.commit_log.low_water >= 10
+        # Live entries are bounded by roughly one checkpoint period.
+        assert len(primary.commit_log) <= 3 * 10
+
+    def test_checkpoint_carries_t_plus_1_signatures(self):
+        runtime = make_cluster(checkpoint_period=10, num_clients=4)
+        run_workload(runtime, duration_ms=2_000.0)
+        proof = runtime.replica(0).stable_checkpoint
+        assert len(proof.sigs) == runtime.config.t + 1
+        for sig in proof.sigs:
+            assert runtime.keystore.verify_digest(sig, sig.digest)
+
+    def test_checkpoints_advance(self):
+        runtime = make_cluster(checkpoint_period=10, num_clients=4)
+        run_workload(runtime, duration_ms=1_000.0)
+        first = runtime.replica(0).stable_checkpoint.seqno
+        run_more = run_workload  # keep driving the same runtime
+        # Continue the simulation directly: issue more requests.
+        from repro.common.config import WorkloadConfig
+        from repro.workloads.clients import ClosedLoopDriver
+
+        driver = ClosedLoopDriver(
+            runtime, WorkloadConfig(num_clients=len(runtime.clients),
+                                    request_size=64, duration_ms=2_000.0,
+                                    warmup_ms=1_000.0))
+        driver.start()
+        runtime.sim.run(until=2_000.0)
+        assert runtime.replica(0).stable_checkpoint.seqno > first
+
+    def test_checkpoint_state_digest_matches_across_actives(self):
+        runtime = make_cluster(checkpoint_period=10, num_clients=4)
+        run_workload(runtime, duration_ms=2_000.0)
+        digests = {runtime.replica(i).stable_checkpoint.state_digest
+                   for i in (0, 1)}
+        assert len(digests) == 1
+
+
+class TestLazyReplication:
+    def test_passive_replica_tracks_actives(self, xpaxos_t1):
+        run_workload(xpaxos_t1, duration_ms=2_000.0)
+        passive = xpaxos_t1.replica(2)
+        primary = xpaxos_t1.replica(0)
+        assert passive.committed_requests >= 0.9 * primary.committed_requests
+
+    def test_lazy_replication_can_be_disabled(self):
+        runtime = make_cluster(use_lazy_replication=False, num_clients=3)
+        run_workload(runtime, duration_ms=1_000.0,)
+        passive = runtime.replica(2)
+        primary = runtime.replica(0)
+        assert primary.committed_requests > 0
+        # Without lazy replication (and before any checkpoint) the passive
+        # replica learns nothing in the common case.
+        assert passive.committed_requests == 0
+
+    def test_disabled_lazy_replication_state_transfer_via_checkpoint(self):
+        """Even without lazy replication, LAZYCHK checkpoints keep passive
+        replicas from falling arbitrarily far behind."""
+        runtime = make_cluster(use_lazy_replication=False,
+                               checkpoint_period=10, num_clients=4)
+        run_workload(runtime, duration_ms=2_000.0)
+        passive = runtime.replica(2)
+        assert passive.ex >= 10  # caught up to some checkpoint
+
+    def test_lazy_speeds_view_change(self):
+        """Ablation behind Figure 9's <10 s view changes: passive replicas
+        kept warm by lazy replication make state transfer trivial."""
+        from repro.common.config import WorkloadConfig
+        from repro.faults.injector import FaultInjector, FaultSchedule
+        from repro.workloads.clients import ClosedLoopDriver
+
+        def run_once(lazy):
+            runtime = make_cluster(use_lazy_replication=lazy,
+                                   num_clients=4, checkpoint_period=1000)
+            driver = ClosedLoopDriver(
+                runtime, WorkloadConfig(num_clients=4, request_size=64,
+                                        duration_ms=6_000.0,
+                                        warmup_ms=100.0))
+            FaultInjector(runtime).arm(
+                FaultSchedule().crash_for(2_000.0, 1, 3_000.0))
+            driver.run()
+            return driver.throughput.total
+
+        # Both must make progress; the lazy variant should not be worse.
+        with_lazy = run_once(True)
+        without_lazy = run_once(False)
+        assert with_lazy > 0 and without_lazy > 0
+        assert with_lazy >= 0.8 * without_lazy

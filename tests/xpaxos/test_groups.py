@@ -1,0 +1,93 @@
+"""Tests for synchronous-group selection (Section 4.3.1, Table 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.protocols.xpaxos.groups import SynchronousGroups
+
+
+class TestTable2:
+    """The t = 1 rotation must reproduce the paper's Table 2 exactly."""
+
+    def test_view_i(self):
+        groups = SynchronousGroups(n=3, t=1)
+        assert groups.primary(0) == 0
+        assert groups.followers(0) == (1,)
+        assert groups.passive(0) == (2,)
+
+    def test_view_i_plus_1(self):
+        groups = SynchronousGroups(n=3, t=1)
+        assert groups.primary(1) == 0
+        assert groups.followers(1) == (2,)
+        assert groups.passive(1) == (1,)
+
+    def test_view_i_plus_2(self):
+        groups = SynchronousGroups(n=3, t=1)
+        assert groups.primary(2) == 1
+        assert groups.followers(2) == (2,)
+        assert groups.passive(2) == (0,)
+
+    def test_cycle_repeats(self):
+        groups = SynchronousGroups(n=3, t=1)
+        for view in range(12):
+            assert groups.group(view) == groups.group(view + 3)
+
+
+class TestGeneral:
+    def test_group_count_is_binomial(self):
+        for t in (1, 2, 3):
+            groups = SynchronousGroups(n=2 * t + 1, t=t)
+            assert groups.group_count == math.comb(2 * t + 1, t + 1)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynchronousGroups(n=4, t=1)
+
+    def test_negative_view_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousGroups(n=3, t=1).group(-1)
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=100))
+    def test_partition_into_active_passive(self, t, view):
+        groups = SynchronousGroups(n=2 * t + 1, t=t)
+        active = set(groups.group(view))
+        passive = set(groups.passive(view))
+        assert len(active) == t + 1
+        assert len(passive) == t
+        assert active | passive == set(range(2 * t + 1))
+        assert not active & passive
+
+    @given(st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=50))
+    def test_primary_is_in_group(self, t, view):
+        groups = SynchronousGroups(n=2 * t + 1, t=t)
+        assert groups.primary(view) in groups.group(view)
+        assert groups.is_primary(view, groups.primary(view))
+
+    def test_every_combination_appears_within_one_cycle(self):
+        """Availability (Section 4.6) needs every t+1 subset to get a turn."""
+        t = 2
+        groups = SynchronousGroups(n=5, t=t)
+        seen = {groups.group(v) for v in range(groups.group_count)}
+        assert len(seen) == groups.group_count
+
+    def test_every_replica_is_eventually_passive(self):
+        groups = SynchronousGroups(n=3, t=1)
+        passives = {groups.passive(v)[0] for v in range(3)}
+        assert passives == {0, 1, 2}
+
+    def test_next_view_with_group(self):
+        groups = SynchronousGroups(n=3, t=1)
+        # Group (1, 2) is at view index 2 within each cycle of 3.
+        assert groups.next_view_with_group(0, (1, 2)) == 2
+        assert groups.next_view_with_group(2, (1, 2)) == 5
+        assert groups.next_view_with_group(4, (2, 1)) == 5
+
+    def test_next_view_with_invalid_group_rejected(self):
+        groups = SynchronousGroups(n=3, t=1)
+        with pytest.raises(ValueError):
+            groups.next_view_with_group(0, (0, 1, 2))

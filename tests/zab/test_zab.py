@@ -1,0 +1,80 @@
+"""Tests for the Zab baseline (ZooKeeper's native protocol)."""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.faults.checker import SafetyChecker
+from tests.conftest import make_cluster, run_workload
+
+
+@pytest.fixture
+def zab_t1():
+    return make_cluster(ProtocolName.ZAB, t=1)
+
+
+class TestCommonCase:
+    def test_uses_2t_plus_1_replicas(self, zab_t1):
+        assert zab_t1.config.n == 3
+
+    def test_requests_commit(self, zab_t1):
+        driver = run_workload(zab_t1)
+        assert driver.throughput.total > 100
+
+    def test_total_order(self, zab_t1):
+        run_workload(zab_t1)
+        assert SafetyChecker(zab_t1).violations() == []
+
+    def test_leader_ships_to_all_followers(self, zab_t1):
+        """The fact behind Figure 10: the Zab leader sends every proposal
+        to all 2t followers (vs t for XPaxos)."""
+        leader = zab_t1.replica(0)
+        assert len(leader.follower_ids()) == 2
+
+    def test_all_replicas_deliver(self, zab_t1):
+        run_workload(zab_t1)
+        counts = [r.committed_requests for r in zab_t1.replicas]
+        assert min(counts) > 0.9 * max(counts)
+
+    def test_commit_requires_quorum_ack(self, zab_t1):
+        """A proposal only commits after a majority of acks."""
+        # Partition the leader from both followers: no commits can happen.
+        zab_t1.network.partitions.block_pair("r0", "r1")
+        zab_t1.network.partitions.block_pair("r0", "r2")
+        driver = run_workload(zab_t1, duration_ms=1_000.0, warmup_ms=0.0)
+        assert driver.throughput.total == 0
+
+    def test_minority_partition_does_not_block(self, zab_t1):
+        zab_t1.network.partitions.block_pair("r0", "r2")
+        driver = run_workload(zab_t1, duration_ms=1_000.0)
+        assert driver.throughput.total > 0
+
+
+class TestLeaderBandwidthProfile:
+    def test_zab_leader_sends_more_bytes_than_xpaxos_primary(self):
+        """Zab leader uplink carries ~2x the XPaxos primary's payload
+        bytes -- the root cause of Figure 10's peak-throughput gap."""
+        from repro.net.bandwidth import BandwidthModel
+        from repro.common.config import ClusterConfig, WorkloadConfig
+        from repro.protocols.registry import build_cluster
+        from repro.workloads.clients import ClosedLoopDriver
+        from tests.conftest import FAST_TIMEOUTS
+
+        def leader_bytes(protocol):
+            bw = BandwidthModel()
+            config = ClusterConfig(t=1, protocol=protocol,
+                                   sites=("CA", "VA", "JP"),
+                                   **FAST_TIMEOUTS)
+            runtime = build_cluster(config, num_clients=4, bandwidth=bw,
+                                    seed=3)
+            driver = ClosedLoopDriver(
+                runtime, WorkloadConfig(num_clients=4, request_size=1024,
+                                        duration_ms=2_000.0,
+                                        warmup_ms=100.0))
+            driver.run()
+            return bw.bytes_sent("r0"), driver.throughput.total
+
+        zab_bytes, zab_ops = leader_bytes(ProtocolName.ZAB)
+        xp_bytes, xp_ops = leader_bytes(ProtocolName.XPAXOS)
+        assert zab_ops > 0 and xp_ops > 0
+        # Normalize per committed op: Zab's leader sends ~2x.
+        assert zab_bytes / zab_ops > 1.5 * (xp_bytes / xp_ops)

@@ -1,0 +1,138 @@
+"""Tests for the ZooKeeper data tree."""
+
+import pytest
+
+from repro.zk.datatree import DataTree, ZkError
+
+
+@pytest.fixture
+def tree():
+    return DataTree()
+
+
+class TestCreate:
+    def test_create_and_get(self, tree):
+        tree.create("/a", b"data")
+        assert tree.get("/a") == (b"data", 0)
+
+    def test_create_nested(self, tree):
+        tree.create("/a", b"")
+        tree.create("/a/b", b"x")
+        assert tree.get("/a/b") == (b"x", 0)
+
+    def test_create_without_parent_fails(self, tree):
+        with pytest.raises(ZkError) as err:
+            tree.create("/missing/child", b"")
+        assert err.value.code == "NoNode"
+
+    def test_duplicate_create_fails(self, tree):
+        tree.create("/a", b"")
+        with pytest.raises(ZkError) as err:
+            tree.create("/a", b"")
+        assert err.value.code == "NodeExists"
+
+    def test_bad_paths_rejected(self, tree):
+        for bad in ("noslash", "/trailing/", "/dou//ble"):
+            with pytest.raises(ZkError):
+                tree.create(bad, b"")
+
+    def test_sequential_nodes(self, tree):
+        first = tree.create("/seq-", b"", sequential=True)
+        second = tree.create("/seq-", b"", sequential=True)
+        assert first == "/seq-0000000000"
+        assert second == "/seq-0000000001"
+
+    def test_ephemeral_cannot_have_children(self, tree):
+        tree.create("/e", b"", ephemeral_owner=7)
+        with pytest.raises(ZkError) as err:
+            tree.create("/e/child", b"")
+        assert err.value.code == "NoChildrenForEphemerals"
+
+
+class TestSetDelete:
+    def test_set_bumps_version(self, tree):
+        tree.create("/a", b"v0")
+        assert tree.set("/a", b"v1") == 1
+        assert tree.get("/a") == (b"v1", 1)
+
+    def test_set_with_version_check(self, tree):
+        tree.create("/a", b"")
+        tree.set("/a", b"x", version=0)
+        with pytest.raises(ZkError) as err:
+            tree.set("/a", b"y", version=0)
+        assert err.value.code == "BadVersion"
+
+    def test_delete(self, tree):
+        tree.create("/a", b"")
+        tree.delete("/a")
+        assert not tree.exists("/a")
+
+    def test_delete_nonempty_fails(self, tree):
+        tree.create("/a", b"")
+        tree.create("/a/b", b"")
+        with pytest.raises(ZkError) as err:
+            tree.delete("/a")
+        assert err.value.code == "NotEmpty"
+
+    def test_delete_with_bad_version_fails(self, tree):
+        tree.create("/a", b"")
+        tree.set("/a", b"x")
+        with pytest.raises(ZkError):
+            tree.delete("/a", version=0)
+
+    def test_delete_root_rejected(self, tree):
+        with pytest.raises(ZkError):
+            tree.delete("/")
+
+
+class TestChildren:
+    def test_children_sorted(self, tree):
+        tree.create("/p", b"")
+        for name in ("zeta", "alpha", "mid"):
+            tree.create(f"/p/{name}", b"")
+        assert tree.get_children("/p") == ["alpha", "mid", "zeta"]
+
+    def test_cversion_bumps(self, tree):
+        tree.create("/p", b"")
+        before = tree._nodes["/p"].cversion
+        tree.create("/p/c", b"")
+        assert tree._nodes["/p"].cversion == before + 1
+
+
+class TestEphemerals:
+    def test_session_expiry_removes_ephemerals(self, tree):
+        tree.create("/e1", b"", ephemeral_owner=5)
+        tree.create("/e2", b"", ephemeral_owner=5)
+        tree.create("/persistent", b"")
+        removed = tree.expire_session(5)
+        assert set(removed) == {"/e1", "/e2"}
+        assert tree.exists("/persistent")
+
+    def test_expiry_of_unknown_session_is_noop(self, tree):
+        assert tree.expire_session(99) == []
+
+
+class TestSnapshots:
+    def test_digest_deterministic(self):
+        a, b = DataTree(), DataTree()
+        for tree in (a, b):
+            tree.create("/x", b"1")
+            tree.create("/x/y", b"2")
+        assert a.digest() == b.digest()
+
+    def test_digest_distinguishes_content(self, tree):
+        other = DataTree()
+        tree.create("/x", b"1")
+        other.create("/x", b"2")
+        assert tree.digest() != other.digest()
+
+    def test_snapshot_restore_roundtrip(self, tree):
+        tree.create("/a", b"1")
+        tree.create("/a/b", b"2", ephemeral_owner=3)
+        tree.set("/a", b"1b")
+        clone = DataTree()
+        clone.restore(tree.snapshot())
+        assert clone.digest() == tree.digest()
+        assert clone.get("/a") == (b"1b", 1)
+        # Ephemeral ownership survives the snapshot.
+        assert clone.expire_session(3) == ["/a/b"]

@@ -1,0 +1,116 @@
+"""Tests for the replicated coordination service."""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.zk.service import CoordinationService, zk_write_op
+from tests.conftest import make_cluster
+
+
+class TestLocalSemantics:
+    def test_create_get_set(self):
+        service = CoordinationService()
+        assert service.execute(("create", "/a", b"x")) == ("ok", "/a")
+        assert service.execute(("get", "/a")) == ("ok", b"x", 0)
+        assert service.execute(("set", "/a", b"y")) == ("ok", 1)
+
+    def test_errors_are_values_not_exceptions(self):
+        service = CoordinationService()
+        assert service.execute(("get", "/missing")) == ("error", "NoNode")
+        assert service.execute("garbage") == ("error", "BadArguments")
+        assert service.execute(("bogus-verb",)) == ("error", "BadArguments")
+
+    def test_exists_children_delete(self):
+        service = CoordinationService()
+        service.execute(("create", "/a", b""))
+        assert service.execute(("exists", "/a")) == ("ok", True)
+        service.execute(("create", "/a/b", b""))
+        assert service.execute(("children", "/a")) == ("ok", ("b",))
+        service.execute(("delete", "/a/b"))
+        assert service.execute(("exists", "/a/b")) == ("ok", False)
+
+    def test_bench_write_creates_then_versions(self):
+        service = CoordinationService()
+        op = zk_write_op(client_id=3, seq=1)
+        assert service.execute(op)[0] == "ok"
+        op2 = zk_write_op(client_id=3, seq=2)
+        status, version = service.execute(op2)
+        assert status == "ok" and version >= 1
+
+    def test_determinism(self):
+        a, b = CoordinationService(), CoordinationService()
+        script = [
+            ("create", "/x", b"1"),
+            ("set", "/x", b"2"),
+            ("create", "/x/y", b""),
+            ("delete", "/x/y"),
+            ("get", "/x"),
+        ]
+        for op in script:
+            assert a.execute(op) == b.execute(op)
+        assert a.state_digest() == b.state_digest()
+
+    def test_snapshot_restore(self):
+        service = CoordinationService()
+        service.execute(("create", "/k", b"v"))
+        clone = CoordinationService()
+        clone.restore(service.snapshot())
+        assert clone.state_digest() == service.state_digest()
+
+
+class TestReplicatedService:
+    @pytest.mark.parametrize("protocol", [
+        ProtocolName.XPAXOS, ProtocolName.PAXOS, ProtocolName.ZAB,
+        ProtocolName.PBFT, ProtocolName.ZYZZYVA,
+    ])
+    def test_writes_replicate_under_every_protocol(self, protocol):
+        from repro.common.config import ClusterConfig
+        from repro.protocols.registry import build_cluster
+        from tests.conftest import FAST_TIMEOUTS
+
+        config = ClusterConfig(t=1, protocol=protocol, **FAST_TIMEOUTS)
+        runtime = build_cluster(config, num_clients=1,
+                                app_factory=CoordinationService, seed=4)
+        client = runtime.clients[0]
+        results = []
+        client.on_result = results.append
+        client.propose(zk_write_op(client_id=0, seq=1), size_bytes=1024)
+        runtime.sim.run(until=2_000.0)
+        assert results and results[0][0] == "ok"
+
+    def test_xpaxos_replicates_tree(self):
+        from repro.common.config import ClusterConfig
+        from repro.protocols.registry import build_cluster
+        from tests.conftest import FAST_TIMEOUTS
+
+        config = ClusterConfig(t=1, protocol=ProtocolName.XPAXOS,
+                               **FAST_TIMEOUTS)
+        runtime = build_cluster(config, num_clients=1,
+                                app_factory=CoordinationService, seed=5)
+        client = runtime.clients[0]
+        results = []
+        client.on_result = results.append
+        client.propose(("create", "/job", b"payload"), size_bytes=64)
+        runtime.sim.run(until=1_000.0)
+        assert results == [("ok", "/job")]
+        # Both active replicas hold the znode.
+        for replica_id in (0, 1):
+            app = runtime.replica(replica_id).app
+            assert app.tree.exists("/job")
+
+    def test_divergence_detectable_by_digest(self):
+        """The state digest is the divergence oracle used by the safety
+        harness: equal histories -> equal digests across replicas."""
+        from repro.common.config import ClusterConfig
+        from repro.protocols.registry import build_cluster
+        from tests.conftest import FAST_TIMEOUTS
+
+        config = ClusterConfig(t=1, protocol=ProtocolName.XPAXOS,
+                               **FAST_TIMEOUTS)
+        runtime = build_cluster(config, num_clients=2,
+                                app_factory=CoordinationService, seed=6)
+        for index, client in enumerate(runtime.clients):
+            client.propose(("create", f"/n{index}", b"x"), size_bytes=32)
+        runtime.sim.run(until=2_000.0)
+        digests = {runtime.replica(i).app.state_digest() for i in (0, 1)}
+        assert len(digests) == 1
