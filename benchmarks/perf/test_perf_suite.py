@@ -1,0 +1,70 @@
+"""Perf micro-benchmark suite (`repro bench`), exercised at CI scale.
+
+Each benchmark runs the same workload against the preserved seed
+implementation and the current hot paths (see ``repro.harness.perf``).
+Correctness equivalences (identical delivered/committed counts, identical
+determinism) are asserted strictly; wall-clock speedups are asserted with a
+wide margin below the typical measured ratios (~3x event churn, ~1.8x
+message storm, ~2x broadcast) so a loaded CI host does not flake.
+
+Run ``python -m repro bench`` for the full-size suite and the
+``BENCH_perf.json`` perf-trajectory artifact.
+"""
+
+from repro.harness.perf import (
+    bench_broadcast_storm,
+    bench_event_churn,
+    bench_message_storm,
+    bench_xpaxos_closed_loop,
+    format_suite,
+    run_suite,
+)
+
+
+def test_event_churn_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_event_churn(50_000, repeat=2),
+        rounds=1, iterations=1)
+    assert result["results_match"]
+    # Typical ratio ~4x; the floor only catches a true regression where
+    # the current loop is no faster than the seed loop.
+    assert result["speedup"] > 1.5
+
+
+def test_message_storm_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_message_storm(30_000, repeat=2),
+        rounds=1, iterations=1)
+    # Same RNG draw order: the optimized fabric delivers the exact same
+    # messages as the seed fabric.
+    assert result["results_match"]
+    # Typical ratio ~1.8x; loose floor to stay robust on loaded CI hosts.
+    assert result["speedup"] > 1.05
+
+
+def test_broadcast_storm_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_broadcast_storm(4_000, repeat=2),
+        rounds=1, iterations=1)
+    assert result["results_match"]
+    # Typical ratio ~2x; loose floor to stay robust on loaded CI hosts.
+    assert result["speedup"] > 1.05
+
+
+def test_closed_loop_xpaxos_deterministic(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_xpaxos_closed_loop(num_clients=8,
+                                         duration_ms=1_000.0),
+        rounds=1, iterations=1)
+    assert result["deterministic"]
+    assert result["committed"] > 0
+
+
+def test_suite_payload_shape():
+    payload = run_suite(events=2_000, messages=1_000, broadcast_rounds=100,
+                        clients=2, duration_ms=400.0, repeat=1)
+    assert set(payload["benchmarks"]) == {
+        "event_churn", "message_storm", "broadcast_storm",
+        "xpaxos_closed_loop"}
+    text = format_suite(payload)
+    assert "event_churn" in text and "speedup" in text

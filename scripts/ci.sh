@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests + perf smoke, run on every PR.
+#
+#   scripts/ci.sh            # full tier-1 suite, then the perf harness
+#
+# The perf harness (`repro bench`, see src/repro/harness/perf.py) compares
+# the current simulator/network hot paths against the preserved seed
+# implementation and refreshes BENCH_perf.json, so every PR leaves a perf
+# trajectory point and any behavioral divergence from the seed fails CI.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit + figure-regeneration tests =="
+python -m pytest -x -q
+
+echo "== perf smoke: micro-benchmarks + BENCH_perf.json =="
+python -m repro bench --events 50000 --messages 30000 \
+    --broadcast-rounds 4000 --clients 8 --duration 1 --repeat 2
+
+python - <<'EOF'
+import json
+
+with open("BENCH_perf.json") as fh:
+    payload = json.load(fh)
+benches = payload["benchmarks"]
+assert benches["event_churn"]["results_match"]
+assert benches["message_storm"]["results_match"]
+assert benches["broadcast_storm"]["results_match"]
+assert benches["xpaxos_closed_loop"]["deterministic"]
+print("perf smoke ok: " + ", ".join(
+    f"{name} {bench['speedup']:.2f}x"
+    for name, bench in benches.items() if "speedup" in bench))
+EOF

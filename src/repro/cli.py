@@ -2,12 +2,19 @@
 
 Examples::
 
-    python -m repro bench --protocol xpaxos --clients 8 32 96
+    python -m repro sweep --protocol xpaxos --clients 8 32 96
     python -m repro compare --t 1
     python -m repro faults --duration 60
     python -m repro reliability --nines-benign 4 --nines-correct 3 \
         --nines-synchrony 3
     python -m repro tables --which 5
+    python -m repro bench --output BENCH_perf.json
+
+``bench`` runs the performance micro-benchmark suite (event churn,
+point-to-point message storm, n-way broadcast storm, closed-loop XPaxos;
+see :mod:`repro.harness.perf`) against both the current hot paths and the
+preserved seed implementation, and writes ``BENCH_perf.json`` so every PR
+records a perf trajectory point.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ def _bench_config(protocol: ProtocolName, t: int) -> ClusterConfig:
                         batch_timeout_ms=5.0)
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
+def cmd_sweep(args: argparse.Namespace) -> int:
     """Latency-vs-throughput sweep for one protocol."""
     protocol = ProtocolName(args.protocol)
     runner = _runner(args.seed, args.uplink)
@@ -61,6 +68,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
                if result.mean_latency_ms is not None else "      n/a")
         print(f"{clients:>8} {result.throughput_kops:9.3f} {lat} "
               f"{result.cpu_percent_most_loaded:7.1f}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Performance micro-benchmark suite; writes ``BENCH_perf.json``."""
+    from repro.harness.perf import format_suite, run_suite, write_suite
+
+    # Fail on an unwritable output path before spending benchmark time --
+    # without leaving an empty file behind if the suite is interrupted.
+    import os
+
+    existed = os.path.exists(args.output)
+    try:
+        with open(args.output, "a"):
+            pass
+        if not existed:
+            os.remove(args.output)
+    except OSError as exc:
+        print(f"cannot write {args.output}: {exc}", file=sys.stderr)
+        return 2
+    payload = run_suite(
+        events=args.events, messages=args.messages,
+        broadcast_rounds=args.broadcast_rounds, clients=args.clients,
+        duration_ms=args.duration * 1_000.0, seed=args.seed,
+        repeat=args.repeat)
+    print("perf suite: current hot paths vs preserved seed implementation")
+    print(format_suite(payload))
+    write_suite(payload, args.output)
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -162,15 +198,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="uplink bytes per virtual ms")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    bench = sub.add_parser("bench", help="latency-vs-throughput sweep")
-    bench.add_argument("--protocol", default="xpaxos",
+    sweep = sub.add_parser("sweep", help="latency-vs-throughput sweep")
+    sweep.add_argument("--protocol", default="xpaxos",
                        choices=[p.value for p in ProtocolName])
-    bench.add_argument("--t", type=int, default=1)
-    bench.add_argument("--clients", type=int, nargs="+",
+    sweep.add_argument("--t", type=int, default=1)
+    sweep.add_argument("--clients", type=int, nargs="+",
                        default=[8, 32, 96])
-    bench.add_argument("--request-size", type=int, default=1024)
-    bench.add_argument("--duration", type=float, default=4.0,
+    sweep.add_argument("--request-size", type=int, default=1024)
+    sweep.add_argument("--duration", type=float, default=4.0,
                        help="virtual seconds per point")
+    sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="perf micro-benchmarks; writes BENCH_perf.json")
+    bench.add_argument("--events", type=int, default=200_000,
+                       help="event-churn iterations")
+    bench.add_argument("--messages", type=int, default=100_000,
+                       help="point-to-point storm size")
+    bench.add_argument("--broadcast-rounds", type=int, default=12_500,
+                       help="8-way broadcast rounds")
+    bench.add_argument("--clients", type=int, default=16,
+                       help="closed-loop XPaxos clients")
+    bench.add_argument("--duration", type=float, default=2.0,
+                       help="closed-loop virtual seconds")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timing repetitions (best-of)")
+    bench.add_argument("--output", default="BENCH_perf.json")
     bench.set_defaults(func=cmd_bench)
 
     compare = sub.add_parser("compare", help="all protocols, one load")

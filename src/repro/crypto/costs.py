@@ -95,19 +95,31 @@ class CpuMeter:
         """Charge one MAC computation/verification."""
         self.charge("mac", self.cost_model.mac_cost(size_bytes))
 
+    def charge_macs(self, count: int, size_bytes: int = 0) -> None:
+        """Charge ``count`` identical MAC computations in one call (the
+        broadcast fast path charges the whole fan-out at once)."""
+        if count > 0:
+            self.charge("mac", count * self.cost_model.mac_cost(size_bytes))
+
     def charge_digest(self, size_bytes: int = 0) -> None:
         """Charge one digest computation."""
         self.charge("digest", self.cost_model.digest_cost(size_bytes))
 
-    def utilisation_percent(self, elapsed_ms: float) -> float:
+    def utilisation_percent(self, elapsed_ms: float,
+                            busy_since_us: float = 0.0) -> float:
         """CPU usage as percent-of-one-core over ``elapsed_ms``.
+
+        ``busy_since_us`` subtracts busy time accumulated before the
+        measurement window opened (a snapshot of :attr:`busy_us` taken at
+        the end of warmup), so utilisation can be reported over the same
+        window as throughput and latency.
 
         Capped at ``cores * 100`` -- a node cannot use more CPU than it has.
         """
         if elapsed_ms <= 0:
             return 0.0
-        raw = 100.0 * (self._busy_us / 1000.0) / elapsed_ms
-        return min(raw, self.cost_model.cores * 100.0)
+        raw = 100.0 * ((self._busy_us - busy_since_us) / 1000.0) / elapsed_ms
+        return min(max(raw, 0.0), self.cost_model.cores * 100.0)
 
     def breakdown(self) -> Dict[str, float]:
         """Busy microseconds per operation category."""

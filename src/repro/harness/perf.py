@@ -1,0 +1,441 @@
+"""Performance micro-benchmark suite (``repro bench``).
+
+Every experiment in this repository funnels through two hot paths: the
+discrete-event loop (:mod:`repro.sim.core`) and the message fabric
+(:mod:`repro.net.network`).  This module measures both -- event churn with
+the cancel-and-reschedule pattern protocols exhibit on every reply, a
+point-to-point message storm, an n-way broadcast storm, and one end-to-end
+closed-loop XPaxos run -- and writes the results to ``BENCH_perf.json`` so
+each PR leaves a perf data point behind.
+
+To make the speedup measurable *within* one checkout, the seed
+implementations of the simulator and the network (as of the original
+import: ``@dataclass(order=True)`` events, per-send delivery closures,
+f-string labels, O(n) ``pending`` scans) are preserved here verbatim as
+baselines.  The micro-benchmarks run the same workload against the seed
+baseline and the current implementation and report the ratio.
+
+Wall-clock numbers are host-dependent; the committed/delivered counts are
+deterministic (same seed, same counts) and double as a regression check
+that the optimized paths are observationally identical to the seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.config import ProtocolName, WorkloadConfig
+from repro.crypto.costs import CostModel
+from repro.harness.configs import paper_config
+from repro.harness.runner import ExperimentRunner
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.net.network import Endpoint, Network
+from repro.sim.core import Simulator
+
+# ----------------------------------------------------------------------
+# Seed baselines (the implementation this repo started from), kept so the
+# suite can report a speedup on the machine it runs on.
+# ----------------------------------------------------------------------
+
+
+@dataclass(order=True)
+class _SeedEvent:
+    """The seed's Event: ordered dataclass, no __slots__."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class _SeedEventHandle:
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _SeedEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class SeedSimulator:
+    """The seed's event loop: heap of orderable Event objects, lazy
+    cancellation without compaction, O(n) ``pending`` scans."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[_SeedEvent] = []
+        self._sequence = 0
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def executed(self) -> int:
+        return self._executed
+
+    def call_at(self, time: float, callback: Callable[[], None],
+                label: str = "") -> _SeedEventHandle:
+        event = _SeedEvent(time=time, sequence=self._sequence,
+                           callback=callback, label=label)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return _SeedEventHandle(event)
+
+    def call_after(self, delay: float, callback: Callable[[], None],
+                   label: str = "") -> _SeedEventHandle:
+        return self.call_at(self._now + delay, callback, label=label)
+
+    def run(self, until: Optional[float] = None) -> int:
+        executed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = event.time
+            self._executed += 1
+            executed += 1
+            event.callback()
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+
+class SeedNetwork:
+    """The seed's send path: endpoint lookups per message, a delivery
+    closure and an f-string label per message, FIFO dict probed always."""
+
+    def __init__(self, sim: SeedSimulator, latency: LatencyModel,
+                 bandwidth: Optional[BandwidthModel] = None,
+                 fifo: bool = False) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.fifo = fifo
+        self.delivered = 0
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._last_delivery: Dict[tuple, float] = {}
+
+    def attach(self, endpoint: Endpoint) -> None:
+        self._endpoints[endpoint.name] = endpoint
+
+    def send(self, src: str, dst: str, payload: Any,
+             size_bytes: int = 0) -> None:
+        source = self._endpoints[src]
+        target = self._endpoints[dst]
+        if not source.is_up():
+            return
+        depart = self.sim.now
+        if (self.bandwidth is not None and size_bytes > 0
+                and source.site != target.site):
+            depart = self.bandwidth.serialize(src, size_bytes, self.sim.now)
+        delay = self.latency.sample_one_way(source.site, target.site,
+                                            now=depart)
+        arrival = depart + delay
+        if self.fifo:
+            key = (src, dst)
+            arrival = max(arrival, self._last_delivery.get(key, 0.0))
+            self._last_delivery[key] = arrival
+
+        def deliver() -> None:
+            if not target.is_up():
+                return
+            self.delivered += 1
+            target.deliver(src, payload)
+
+        self.sim.call_at(arrival, deliver, label=f"{src}->{dst}")
+
+    def broadcast(self, src: str, dsts: List[str], payload: Any,
+                  size_bytes: int = 0) -> None:
+        for dst in dsts:
+            self.send(src, dst, payload, size_bytes=size_bytes)
+
+
+# ----------------------------------------------------------------------
+# Workloads (run identically against seed and current implementations)
+# ----------------------------------------------------------------------
+
+def _churn_workload(sim, num_events: int) -> Dict[str, Any]:
+    """The protocol hot pattern: every 'reply' cancels an outstanding
+    retransmission timer and re-arms it far in the future."""
+    slots = 128
+    handles: List[Any] = [None] * slots
+    state = {"count": 0}
+
+    def noop() -> None:
+        pass
+
+    def pump() -> None:
+        count = state["count"] + 1
+        state["count"] = count
+        slot = count % slots
+        handle = handles[slot]
+        if handle is not None:
+            handle.cancel()
+        handles[slot] = sim.call_after(10_000.0, noop, label="retransmit")
+        if count < num_events:
+            sim.call_after(0.01, pump, label="reply")
+
+    sim.call_after(0.0, pump, label="reply")
+    sim.run(until=num_events * 0.01 + 1.0)
+    return {"executed": sim.executed, "pending": sim.pending}
+
+
+def _storm_endpoints(network, count: int = 9) -> List[str]:
+    sites = ("CA", "VA", "JP")
+    sink = {"delivered": 0}
+
+    def make(name: str, site: str) -> Endpoint:
+        def deliver(src: str, payload: Any) -> None:
+            sink["delivered"] += 1
+
+        return Endpoint(name, site, deliver, lambda: True)
+
+    names = []
+    for i in range(count):
+        name = f"n{i}"
+        network.attach(make(name, sites[i % len(sites)]))
+        names.append(name)
+    network._bench_sink = sink
+    return names
+
+
+def _storm_workload(sim, network, num_messages: int) -> Dict[str, Any]:
+    """Point-to-point storm: every endpoint keeps a message in flight;
+    each delivery triggers the next send (closed loop over the fabric)."""
+    names = _storm_endpoints(network)
+    k = len(names)
+    for i in range(num_messages):
+        src = names[i % k]
+        dst = names[(i * 5 + 1) % k]
+        if src == dst:
+            dst = names[(i * 5 + 2) % k]
+        network.send(src, dst, i, size_bytes=256)
+    sim.run()
+    return {"delivered": network._bench_sink["delivered"],
+            "executed": sim.executed}
+
+
+def _broadcast_workload(sim, network, rounds: int) -> Dict[str, Any]:
+    """n-way broadcast storm: a leader ships one payload to 8 peers per
+    round, the pattern of every ordering protocol's fan-out."""
+    names = _storm_endpoints(network)
+    leader, peers = names[0], names[1:]
+    payload = ("batch", b"x" * 64)
+    for _ in range(rounds):
+        network.broadcast(leader, peers, payload, size_bytes=1024)
+    sim.run()
+    return {"delivered": network._bench_sink["delivered"],
+            "executed": sim.executed}
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+
+def _best_of(repeat: int, thunk: Callable[[], Dict[str, Any]]):
+    """Run ``thunk`` ``repeat`` times; return (best seconds, last result)."""
+    best = float("inf")
+    result: Dict[str, Any] = {}
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _compare(current: Callable[[], Dict[str, Any]],
+             baseline: Callable[[], Dict[str, Any]], units: int,
+             repeat: int) -> Dict[str, Any]:
+    cur_s, cur_r = _best_of(repeat, current)
+    base_s, base_r = _best_of(repeat, baseline)
+    return {
+        "units": units,
+        "seconds": cur_s,
+        "baseline_seconds": base_s,
+        "units_per_sec": units / cur_s if cur_s > 0 else float("inf"),
+        "baseline_units_per_sec": (units / base_s if base_s > 0
+                                   else float("inf")),
+        "speedup": base_s / cur_s if cur_s > 0 else float("inf"),
+        "result": cur_r,
+        "baseline_result": base_r,
+        "results_match": cur_r == base_r,
+    }
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+
+def bench_event_churn(num_events: int = 200_000,
+                      repeat: int = 3) -> Dict[str, Any]:
+    """Cancel-and-reschedule event churn, seed vs current simulator."""
+    return _compare(
+        lambda: _churn_workload(Simulator(), num_events),
+        lambda: _churn_workload(SeedSimulator(), num_events),
+        num_events, repeat)
+
+
+def _current_net(seed: int):
+    sim = Simulator()
+    latency = LatencyModel.ec2(seed=seed)
+    net = Network(sim, latency, bandwidth=BandwidthModel())
+    return sim, net
+
+
+def _seed_net(seed: int):
+    sim = SeedSimulator()
+    latency = LatencyModel.ec2(seed=seed)
+    net = SeedNetwork(sim, latency, bandwidth=BandwidthModel())
+    return sim, net
+
+
+def bench_message_storm(num_messages: int = 100_000, seed: int = 0,
+                        repeat: int = 3) -> Dict[str, Any]:
+    """Point-to-point message storm, seed vs current fabric.
+
+    Both fabrics draw latency samples in the same RNG order, so delivered
+    counts must match exactly -- a determinism check riding the benchmark.
+    """
+
+    def current() -> Dict[str, Any]:
+        sim, net = _current_net(seed)
+        return _storm_workload(sim, net, num_messages)
+
+    def baseline() -> Dict[str, Any]:
+        sim, net = _seed_net(seed)
+        return _storm_workload(sim, net, num_messages)
+
+    return _compare(current, baseline, num_messages, repeat)
+
+
+def bench_broadcast_storm(rounds: int = 12_500, seed: int = 0,
+                          repeat: int = 3) -> Dict[str, Any]:
+    """n-way broadcast storm: multicast path vs seed per-destination loop."""
+
+    def current() -> Dict[str, Any]:
+        sim, net = _current_net(seed)
+        return _broadcast_workload(sim, net, rounds)
+
+    def baseline() -> Dict[str, Any]:
+        sim, net = _seed_net(seed)
+        return _broadcast_workload(sim, net, rounds)
+
+    return _compare(current, baseline, rounds * 8, repeat)
+
+
+def bench_xpaxos_closed_loop(num_clients: int = 16,
+                             duration_ms: float = 2_000.0,
+                             seed: int = 0) -> Dict[str, Any]:
+    """End-to-end closed-loop XPaxos run on the paper's WAN, run twice to
+    confirm determinism (same seed, same committed count)."""
+    config = paper_config(ProtocolName.XPAXOS, t=1,
+                          request_retransmit_ms=20_000.0,
+                          view_change_timeout_ms=10_000.0,
+                          batch_timeout_ms=5.0)
+    workload = WorkloadConfig(num_clients=num_clients, request_size=1024,
+                              duration_ms=duration_ms,
+                              warmup_ms=min(500.0, duration_ms / 4),
+                              client_site="CA")
+
+    def run_once() -> Dict[str, Any]:
+        runner = ExperimentRunner(
+            latency_factory=lambda s: LatencyModel.ec2(seed=s),
+            bandwidth_factory=lambda: BandwidthModel(default_rate=4_000.0),
+            cost_model=CostModel(),
+            seed=seed,
+        )
+        result = runner.run_point(config, workload)
+        return {"committed": result.committed,
+                "throughput_kops": result.throughput_kops}
+
+    start = time.perf_counter()
+    first = run_once()
+    elapsed = time.perf_counter() - start
+    second = run_once()
+    return {
+        "units": first["committed"],
+        "seconds": elapsed,
+        "committed": first["committed"],
+        "throughput_kops": first["throughput_kops"],
+        "virtual_ms": duration_ms,
+        "commits_per_wall_sec": (first["committed"] / elapsed
+                                 if elapsed > 0 else float("inf")),
+        "deterministic": first == second,
+    }
+
+
+def run_suite(events: int = 200_000, messages: int = 100_000,
+              broadcast_rounds: int = 12_500, clients: int = 16,
+              duration_ms: float = 2_000.0, seed: int = 0,
+              repeat: int = 3) -> Dict[str, Any]:
+    """Run the full suite; returns the ``BENCH_perf.json`` payload."""
+    return {
+        "schema": 1,
+        "suite": "perf",
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "params": {
+            "events": events, "messages": messages,
+            "broadcast_rounds": broadcast_rounds, "clients": clients,
+            "duration_ms": duration_ms, "seed": seed, "repeat": repeat,
+        },
+        "benchmarks": {
+            "event_churn": bench_event_churn(events, repeat=repeat),
+            "message_storm": bench_message_storm(messages, seed=seed,
+                                                 repeat=repeat),
+            "broadcast_storm": bench_broadcast_storm(broadcast_rounds,
+                                                     seed=seed,
+                                                     repeat=repeat),
+            "xpaxos_closed_loop": bench_xpaxos_closed_loop(
+                clients, duration_ms, seed=seed),
+        },
+    }
+
+
+def format_suite(payload: Dict[str, Any]) -> str:
+    """Plain-text rendering of a suite result."""
+    lines = [f"{'benchmark':>20} {'units':>10} {'sec':>8} {'base sec':>9} "
+             f"{'speedup':>8} {'match':>6}"]
+    for name, bench in payload["benchmarks"].items():
+        if "speedup" in bench:
+            lines.append(
+                f"{name:>20} {bench['units']:>10} {bench['seconds']:8.3f} "
+                f"{bench['baseline_seconds']:9.3f} "
+                f"{bench['speedup']:7.2f}x "
+                f"{'yes' if bench['results_match'] else 'NO':>6}")
+        else:
+            det = "yes" if bench.get("deterministic") else "NO"
+            lines.append(
+                f"{name:>20} {bench['units']:>10} {bench['seconds']:8.3f} "
+                f"{'':>9} {'':>8} {det:>6}")
+    return "\n".join(lines)
+
+
+def write_suite(payload: Dict[str, Any], path: str) -> None:
+    """Write the suite result to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

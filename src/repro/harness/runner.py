@@ -8,7 +8,7 @@ exactly how the paper's Figures 7 and 10 are produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
@@ -90,11 +90,22 @@ class ExperimentRunner:
         """Run one closed-loop benchmark and collect metrics."""
         runtime = self.build(config, workload)
         driver = ClosedLoopDriver(runtime, workload)
+        # Snapshot each replica's CPU busy time when warmup ends, so CPU is
+        # reported over the same measured window as throughput and latency
+        # (keeps the Figure 8 comparison apples-to-apples).
+        busy_at_warmup: Dict[int, float] = {}
+        runtime.sim.call_at(
+            workload.warmup_ms,
+            lambda: busy_at_warmup.update(
+                (r.replica_id, r.cpu.busy_us) for r in runtime.replicas),
+            label="cpu-warmup-mark")
         driver.run()
         summary = driver.latency.summary()
-        elapsed = workload.duration_ms
+        measured_ms = workload.duration_ms - workload.warmup_ms
         cpu_by_replica = {
-            r.replica_id: r.cpu.utilisation_percent(elapsed)
+            r.replica_id: r.cpu.utilisation_percent(
+                measured_ms,
+                busy_since_us=busy_at_warmup.get(r.replica_id, 0.0))
             for r in runtime.replicas
         }
         most_loaded = max(cpu_by_replica.values()) if cpu_by_replica else 0.0
@@ -120,15 +131,11 @@ class ExperimentRunner:
         """Latency-vs-throughput curve: one run per client count."""
         points = []
         for count in client_counts:
-            workload = WorkloadConfig(
-                num_clients=count,
-                request_size=base_workload.request_size,
-                reply_size=base_workload.reply_size,
-                duration_ms=base_workload.duration_ms,
-                warmup_ms=base_workload.warmup_ms,
-                client_site=base_workload.client_site,
-                seed=base_workload.seed + count,
-            )
+            # dataclasses.replace keeps every other workload field intact,
+            # so fields added to WorkloadConfig later are never silently
+            # dropped from sweeps.
+            workload = replace(base_workload, num_clients=count,
+                               seed=base_workload.seed + count)
             points.append(SweepPoint(count, self.run_point(config, workload)))
         return points
 

@@ -14,7 +14,6 @@ is not charged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict
 
 #: Default WAN uplink of one mid-range EC2 VM, bytes per virtual millisecond.
@@ -22,11 +21,13 @@ from typing import Dict
 DEFAULT_UPLINK_BYTES_PER_MS = 40_000.0
 
 
-@dataclass
 class _Uplink:
-    rate: float
-    free_at: float = 0.0
-    bytes_sent: int = 0
+    __slots__ = ("rate", "free_at", "bytes_sent")
+
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+        self.free_at = 0.0
+        self.bytes_sent = 0
 
 
 class BandwidthModel:
@@ -80,6 +81,16 @@ class BandwidthModel:
         return max(0.0, self._uplink(node).free_at - now)
 
     def reset(self) -> None:
-        """Clear all queues and counters (end of warmup)."""
+        """Clear all queues and counters, returning the model to its
+        just-built state (for reuse across back-to-back runs).
+
+        Both the byte counters *and* the booked uplink time are cleared:
+        leaving ``free_at`` in the future would make the next run's traffic
+        queue behind the previous run's backlog.  Note this is *not* called
+        at the warmup boundary of a single run -- there the backlog is real
+        steady-state behavior and clearing it would falsify the model; the
+        harness excludes warmup in its recorders instead.
+        """
         for link in self._uplinks.values():
             link.bytes_sent = 0
+            link.free_at = 0.0

@@ -254,7 +254,7 @@ class QuorumClient(SmrClientBase):
         self.timeouts += 1
         # Re-send to every replica; the leader deduplicates.
         assert self.config.n is not None
-        for replica in range(self.config.n):
-            self.send(f"r{replica}", ClientRequestMsg(request),
-                      size_bytes=request.size_bytes)
+        self.multicast([f"r{r}" for r in range(self.config.n)],
+                       ClientRequestMsg(request),
+                       size_bytes=request.size_bytes)
         self._timer.start(self.config.request_retransmit_ms)

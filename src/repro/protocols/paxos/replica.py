@@ -154,9 +154,9 @@ class PaxosReplica(BaselineReplica):
         self._proposed[seqno] = batch
         self._acks[seqno] = set()
         accept = Accept(self.view, seqno, batch, digest)
-        for acceptor in self.common_case_acceptors():
-            self.cpu.charge_mac(batch.size_bytes)
-            self.send(f"r{acceptor}", accept, size_bytes=batch.size_bytes)
+        acceptors = [f"r{a}" for a in self.common_case_acceptors()]
+        self.cpu.charge_macs(len(acceptors), batch.size_bytes)
+        self.multicast(acceptors, accept, size_bytes=batch.size_bytes)
 
     def _on_accept(self, src: str, m: Accept) -> None:
         if m.view < self.view:
@@ -188,10 +188,9 @@ class PaxosReplica(BaselineReplica):
                 return
             self.commit_batch(m.seqno, batch)
             learn = Learn(self.view, m.seqno, batch)
-            for passive in self.passive_ids():
-                self.cpu.charge_mac(batch.size_bytes)
-                self.send(f"r{passive}", learn,
-                          size_bytes=batch.size_bytes)
+            passives = [f"r{p}" for p in self.passive_ids()]
+            self.cpu.charge_macs(len(passives), batch.size_bytes)
+            self.multicast(passives, learn, size_bytes=batch.size_bytes)
 
     def _on_learn(self, m: Learn) -> None:
         self.cpu.charge_mac(m.batch.size_bytes)

@@ -81,12 +81,10 @@ class PbftReplica(BaselineReplica):
         self._batches[seqno] = batch
         self._digests[seqno] = digest
         pre_prepare = PrePrepare(self.view, seqno, batch, digest)
-        for active in self.active_ids():
-            if active == self.replica_id:
-                continue
-            self.cpu.charge_mac(batch.size_bytes)
-            self.send(f"r{active}", pre_prepare,
-                      size_bytes=batch.size_bytes)
+        peers = [f"r{a}" for a in self.active_ids()
+                 if a != self.replica_id]
+        self.cpu.charge_macs(len(peers), batch.size_bytes)
+        self.multicast(peers, pre_prepare, size_bytes=batch.size_bytes)
         self._vote(seqno, digest)
 
     def _on_pre_prepare(self, src: str, m: PrePrepare) -> None:
@@ -99,12 +97,18 @@ class PbftReplica(BaselineReplica):
 
     def _vote(self, seqno: int, digest: Digest) -> None:
         vote = CommitMsg(self.view, seqno, digest, self.replica_id)
-        for active in self.active_ids():
-            if active == self.replica_id:
-                self._record_vote(vote)
-            else:
-                self.cpu.charge_mac(48)
-                self.send(f"r{active}", vote, size_bytes=48)
+        # Our own vote is recorded at this replica's position in the active
+        # list, so the send order (and latency draw order) matches a
+        # sequential per-peer loop exactly.
+        me = self.replica_id
+        actives = self.active_ids()
+        before = [f"r{a}" for a in actives if a < me]
+        after = [f"r{a}" for a in actives if a > me]
+        self.cpu.charge_macs(len(before), 48)
+        self.multicast(before, vote, size_bytes=48)
+        self._record_vote(vote)
+        self.cpu.charge_macs(len(after), 48)
+        self.multicast(after, vote, size_bytes=48)
 
     def _on_commit(self, m: CommitMsg) -> None:
         if m.view != self.view or not self.is_active:

@@ -193,8 +193,8 @@ class XPaxosClient(SmrClientBase):
         if out is None:
             return
         # Forward the suspicion to the new actives and re-send the request.
-        for replica in self.groups.group(self.view):
-            self.send(f"r{replica}", suspect, size_bytes=48)
+        self.multicast([f"r{r}" for r in self.groups.group(self.view)],
+                       suspect, size_bytes=48)
         primary = self.groups.primary(self.view)
         self.send(f"r{primary}", msg.Replicate(out.request),
                   size_bytes=out.request.size_bytes)
@@ -222,9 +222,9 @@ class XPaxosClient(SmrClientBase):
             return
         self.timeouts += 1
         out.retries += 1
-        for replica in self.groups.group(self.view):
-            self.send(f"r{replica}", msg.ReSend(out.request),
-                      size_bytes=out.request.size_bytes)
+        self.multicast([f"r{r}" for r in self.groups.group(self.view)],
+                       msg.ReSend(out.request),
+                       size_bytes=out.request.size_bytes)
         backoff = (2.0 if out.retries > 1 else 1.0) \
             * self.config.request_retransmit_ms
         self._timer.start(backoff)

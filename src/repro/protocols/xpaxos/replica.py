@@ -257,9 +257,9 @@ class XPaxosReplica(ReplicaBase):
         entry = PrepareEntry(seqno, self.view, batch, sig)
         self.prepare_log.put(seqno, entry)
         prepare = msg.Prepare(self.view, seqno, batch, batch_digest, sig)
-        for follower in self.groups.followers(self.view):
-            self.send(self.replica_name(follower), prepare,
-                      size_bytes=batch.size_bytes)
+        self.multicast(
+            [self.replica_name(f) for f in self.groups.followers(self.view)],
+            prepare, size_bytes=batch.size_bytes)
 
     def _on_prepare(self, src: str, m: msg.Prepare) -> None:
         if self.config.t == 1:
@@ -306,11 +306,13 @@ class XPaxosReplica(ReplicaBase):
                                            self.replica_id))
         vote = msg.CommitVote(m.view, m.seqno, m.batch_digest,
                               self.replica_id, sig)
-        for name in self._active_names():
-            if name == self.name:
-                self._record_commit_vote(vote)
-            else:
-                self.send(name, vote, size_bytes=64)
+        # Record our own vote at this replica's position in the active list
+        # so the send (and latency draw) order matches a sequential loop.
+        names = self._active_names()
+        me = names.index(self.name)
+        self.multicast(names[:me], vote, size_bytes=64)
+        self._record_commit_vote(vote)
+        self.multicast(names[me + 1:], vote, size_bytes=64)
 
     def _on_commit_vote(self, src: str, m: msg.CommitVote) -> None:
         if self.config.t == 1:
@@ -542,9 +544,7 @@ class XPaxosReplica(ReplicaBase):
         self._suspected_views.add(view)
         sig = self.sign(msg.suspect_payload(view, self.replica_id))
         suspect = msg.Suspect(view, self.replica_id, sig)
-        for name in self.all_replica_names():
-            if name != self.name:
-                self.send(name, suspect, size_bytes=48)
+        self.multicast(self.other_replica_names(), suspect, size_bytes=48)
         self._process_suspect(suspect)
 
     def _on_suspect(self, src: str, m: msg.Suspect) -> None:
@@ -558,9 +558,10 @@ class XPaxosReplica(ReplicaBase):
         key = (m.view, m.sender)
         if key not in self._forwarded_suspects:
             self._forwarded_suspects.add(key)
-            for name in self.all_replica_names():
-                if name != self.name and name != src:
-                    self.send(name, m, size_bytes=48)
+            self.multicast(
+                [n for n in self.all_replica_names()
+                 if n != self.name and n != src],
+                m, size_bytes=48)
         self._process_suspect(m)
 
     def _process_suspect(self, m: msg.Suspect) -> None:
@@ -1295,16 +1296,16 @@ class XPaxosReplica(ReplicaBase):
         if m.accused in self.detected_faulty:
             return
         self.detected_faulty.add(m.accused)
-        for name in self.all_replica_names():
-            if name != self.name and name != src:
-                self.send(name, m, size_bytes=256)
+        self.multicast(
+            [n for n in self.all_replica_names()
+             if n != self.name and n != src],
+            m, size_bytes=256)
 
     def broadcast_accusation(self, accusation: msg.FaultAccusation) -> None:
         """Broadcast a fault-detection accusation to every replica."""
         self.detected_faulty.add(accusation.accused)
-        for name in self.all_replica_names():
-            if name != self.name:
-                self.send(name, accusation, size_bytes=256)
+        self.multicast(self.other_replica_names(), accusation,
+                       size_bytes=256)
 
     # ==================================================================
     # Crash / recovery

@@ -81,10 +81,9 @@ class ZabReplica(BaselineReplica):
         proposal = Proposal(self.view, seqno, batch)
         # The leader ships the full payload to ALL followers -- the
         # bandwidth profile that caps Zab's peak throughput in Figure 10.
-        for follower in self.follower_ids():
-            self.cpu.charge_mac(batch.size_bytes)
-            self.send(f"r{follower}", proposal,
-                      size_bytes=batch.size_bytes)
+        followers = [f"r{f}" for f in self.follower_ids()]
+        self.cpu.charge_macs(len(followers), batch.size_bytes)
+        self.multicast(followers, proposal, size_bytes=batch.size_bytes)
 
     def _on_proposal(self, src: str, m: Proposal) -> None:
         if m.epoch != self.view or self.is_leader:
@@ -108,9 +107,9 @@ class ZabReplica(BaselineReplica):
             if batch is None:
                 return
             commit = CommitZab(self.view, m.seqno)
-            for follower in self.follower_ids():
-                self.cpu.charge_mac(32)
-                self.send(f"r{follower}", commit, size_bytes=32)
+            followers = [f"r{f}" for f in self.follower_ids()]
+            self.cpu.charge_macs(len(followers), 32)
+            self.multicast(followers, commit, size_bytes=32)
             self.commit_batch(m.seqno, batch)
 
     def _on_commit(self, m: CommitZab) -> None:

@@ -56,11 +56,10 @@ class ZyzzyvaReplica(BaselineReplica):
         history = self._extend_history(digest)
         order = OrderReq(self.view, seqno, batch, digest, history)
         assert self.config.n is not None
-        for replica in range(self.config.n):
-            if replica == self.replica_id:
-                continue
-            self.cpu.charge_mac(batch.size_bytes)
-            self.send(f"r{replica}", order, size_bytes=batch.size_bytes)
+        peers = [f"r{r}" for r in range(self.config.n)
+                 if r != self.replica_id]
+        self.cpu.charge_macs(len(peers), batch.size_bytes)
+        self.multicast(peers, order, size_bytes=batch.size_bytes)
         # The primary executes speculatively too.
         self.commit_batch(seqno, batch)
 

@@ -7,54 +7,90 @@ Design notes
 * **Determinism**: events that fire at the same instant are delivered in
   insertion order (a monotonically increasing tiebreaker is part of the heap
   key), so a run is a pure function of (code, seed).
-* **Cancellation** is lazy: cancelling marks the handle and the event is
+* **Cancellation** is lazy: cancelling marks the event and the entry is
   skipped when popped, which keeps cancellation O(1) -- important because
-  protocols cancel retransmission timers on virtually every reply.
+  protocols cancel retransmission timers on virtually every reply.  When
+  cancelled entries outnumber live ones the heap is compacted in one pass
+  (the same strategy asyncio uses), so a cancel-heavy run never drags a
+  long tail of dead timers through every push and pop.
+* **Allocation discipline**: the heap stores plain ``(time, sequence,
+  event)`` tuples (C-speed comparisons; the event object itself is never
+  compared), :class:`Event` has ``__slots__``, and executed or compacted
+  events are recycled through a free pool.  At steady state the hot loop
+  schedules and fires events with no per-event allocation beyond the heap
+  tuple.  Callers that never cancel (message delivery) can use
+  :meth:`Simulator.schedule` to skip the :class:`EventHandle` too.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
-Callback = Callable[[], None]
+Callback = Callable[..., None]
+
+#: Recycled-event pool cap; beyond this, events are left to the GC.
+_POOL_CAP = 8192
+
+#: Compact the heap when more than this many entries are cancelled *and*
+#: they outnumber the live entries (both conditions, like asyncio).
+_COMPACT_MIN_CANCELLED = 64
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback. Ordered by ``(time, sequence)``."""
+    """A scheduled callback, ordered in the heap by ``(time, sequence)``.
 
-    time: float
-    sequence: int
-    callback: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    ``sequence`` doubles as a generation tag: it is reset to ``-1`` when the
+    event fires and reassigned when the object is recycled for a new
+    scheduling, which lets stale :class:`EventHandle` objects detect that
+    "their" event is gone in O(1).
+    """
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "label")
+
+    def __init__(self, time: float = 0.0, sequence: int = -1,
+                 callback: Optional[Callback] = None,
+                 args: Tuple[Any, ...] = (), label: str = "") -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
 
 
 class EventHandle:
-    """Caller-facing handle allowing an event to be cancelled."""
+    """Caller-facing handle allowing an event to be cancelled.
 
-    __slots__ = ("_event",)
+    The handle pins the ``(event, sequence)`` pair observed at scheduling
+    time; once the event has fired (or its object has been recycled) the
+    handle becomes inert: ``active`` is False and ``cancel()`` is a no-op.
+    """
 
-    def __init__(self, event: Event):
+    __slots__ = ("_sim", "_event", "_sequence")
+
+    def __init__(self, sim: "Simulator", event: Event, sequence: int):
+        self._sim = sim
         self._event = event
+        self._sequence = sequence
 
     @property
     def time(self) -> float:
-        """Virtual time at which the event will fire."""
+        """Virtual time at which the event will fire (meaningful only
+        while ``active``)."""
         return self._event.time
 
     @property
     def active(self) -> bool:
         """True while the event is scheduled and not yet fired/cancelled."""
-        return not self._event.cancelled
+        event = self._event
+        return event.sequence == self._sequence and not event.cancelled
 
     def cancel(self) -> None:
         """Prevent the event from firing. Idempotent."""
-        self._event.cancelled = True
+        self._sim._cancel_event(self._event, self._sequence)
 
 
 class Simulator:
@@ -72,9 +108,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._sequence: int = 0
         self._executed: int = 0
+        self._live: int = 0
+        self._cancelled_queued: int = 0
+        self._pool: List[Event] = []
         self._running = False
 
     # ------------------------------------------------------------------
@@ -87,8 +126,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (not cancelled, not fired) events still queued.
+
+        Maintained as an O(1) counter; the heap may additionally hold
+        cancelled entries awaiting lazy removal.
+        """
+        return self._live
 
     @property
     def executed(self) -> int:
@@ -98,9 +141,18 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def call_at(self, time: float, callback: Callback,
-                label: str = "") -> EventHandle:
-        """Schedule ``callback`` to run at absolute virtual ``time``.
+    def schedule(self, time: float, callback: Callback,
+                 args: Tuple[Any, ...] = (), label: str = "") -> Event:
+        """Hot-path scheduling: no :class:`EventHandle` is created.
+
+        Use when the caller will never cancel (message deliveries, one-shot
+        kicks).  ``args`` are passed to ``callback`` at fire time, which
+        lets callers avoid building a closure per event.
+
+        Returns:
+            The raw :class:`Event` (with its current ``sequence`` as the
+            generation tag) -- :class:`repro.sim.process.Timer` uses the
+            pair to cancel without a handle.
 
         Raises:
             SimulationError: if ``time`` is in the past.
@@ -109,14 +161,35 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
-        event = Event(time=time, sequence=self._sequence, callback=callback,
-                      label=label)
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.sequence = sequence
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.label = label
+        else:
+            event = Event(time, sequence, callback, args, label)
+        heapq.heappush(self._queue, (time, sequence, event))
+        self._live += 1
+        return event
+
+    def call_at(self, time: float, callback: Callback,
+                label: str = "", args: Tuple[Any, ...] = ()) -> EventHandle:
+        """Schedule ``callback`` to run at absolute virtual ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        event = self.schedule(time, callback, args, label)
+        return EventHandle(self, event, event.sequence)
 
     def call_after(self, delay: float, callback: Callback,
-                   label: str = "") -> EventHandle:
+                   label: str = "", args: Tuple[Any, ...] = ()) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` ms from now.
 
         Raises:
@@ -124,11 +197,64 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, callback, label=label)
+        return self.call_at(self._now + delay, callback, label=label,
+                            args=args)
 
-    def call_soon(self, callback: Callback, label: str = "") -> EventHandle:
+    def call_soon(self, callback: Callback, label: str = "",
+                  args: Tuple[Any, ...] = ()) -> EventHandle:
         """Schedule ``callback`` at the current instant (after queued peers)."""
-        return self.call_at(self._now, callback, label=label)
+        return self.call_at(self._now, callback, label=label, args=args)
+
+    # ------------------------------------------------------------------
+    # Cancellation (internal; EventHandle and Timer delegate here)
+    # ------------------------------------------------------------------
+    def _cancel_event(self, event: Event, sequence: int) -> bool:
+        """Cancel a scheduled event if ``sequence`` still matches.
+
+        Returns True if the event was live and is now cancelled.  The heap
+        entry is removed lazily; when dead entries pile up the heap is
+        compacted in one pass.
+        """
+        if event.sequence != sequence or event.cancelled:
+            return False
+        event.cancelled = True
+        event.callback = None
+        event.args = ()
+        self._live -= 1
+        self._cancelled_queued += 1
+        if (self._cancelled_queued > _COMPACT_MIN_CANCELLED
+                and self._cancelled_queued * 2 > len(self._queue)):
+            self._compact()
+        return True
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify; pops stay in the same
+        order because heap keys are unique ``(time, sequence)`` pairs.
+
+        Mutates the queue in place: ``run()`` holds a reference to the
+        list across callbacks, and callbacks may trigger compaction.
+        """
+        pool = self._pool
+        queue = self._queue
+        keep = []
+        for entry in queue:
+            event = entry[2]
+            if event.cancelled:
+                if len(pool) < _POOL_CAP:
+                    pool.append(event)
+            else:
+                keep.append(entry)
+        queue[:] = keep
+        heapq.heapify(queue)
+        self._cancelled_queued = 0
+
+    def _retire(self, event: Event) -> None:
+        """Tombstone a popped event and return it to the free pool."""
+        event.sequence = -1
+        event.callback = None
+        event.args = ()
+        if len(self._pool) < _POOL_CAP:
+            self._pool.append(event)
 
     # ------------------------------------------------------------------
     # Execution
@@ -139,13 +265,23 @@ class Simulator:
         Returns:
             True if an event was executed; False if the queue was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            _, _, event = heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled_queued -= 1
+                self._retire(event)
                 continue
             self._now = event.time
             self._executed += 1
-            event.callback()
+            self._live -= 1
+            callback = event.callback
+            args = event.args
+            self._retire(event)
+            if args:
+                callback(*args)
+            else:
+                callback()
             return True
         return False
 
@@ -165,21 +301,33 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._queue[0]
+                entry = queue[0]
+                event = entry[2]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
+                    self._cancelled_queued -= 1
+                    self._retire(event)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._queue)
-                self._now = event.time
+                pop(queue)
+                self._now = entry[0]
                 self._executed += 1
                 executed += 1
-                event.callback()
+                self._live -= 1
+                callback = event.callback
+                args = event.args
+                self._retire(event)
+                if args:
+                    callback(*args)
+                else:
+                    callback()
         finally:
             self._running = False
         if until is not None and self._now < until:

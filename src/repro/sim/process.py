@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.sim.core import EventHandle, Simulator
+from repro.common.errors import SimulationError
+from repro.sim.core import Event, EventHandle, Simulator
 
 
 class Timer:
@@ -19,44 +20,59 @@ class Timer:
     Mirrors the timers of the paper's pseudocode (``timer_c``,
     ``timer_net``, ``timer_vc``, ``timer_req``): ``start`` arms it,
     ``stop`` disarms it, and re-``start`` while armed restarts it.
+
+    Protocols restart these on virtually every reply, so arming goes
+    through the simulator's pooled fast path (:meth:`Simulator.schedule`)
+    and cancellation talks to the scheduler directly -- no
+    :class:`EventHandle` or closure is allocated per start/stop cycle.
     """
+
+    __slots__ = ("_process", "_callback", "_label", "_event", "_sequence")
 
     def __init__(self, process: "Process", callback: Callable[[], None],
                  label: str = "timer"):
         self._process = process
         self._callback = callback
         self._label = label
-        self._handle: Optional[EventHandle] = None
+        self._event: Optional[Event] = None
+        self._sequence = -1
         process._register_timer(self)
 
     @property
     def armed(self) -> bool:
         """True if the timer is counting down."""
-        return self._handle is not None and self._handle.active
+        event = self._event
+        return (event is not None and event.sequence == self._sequence
+                and not event.cancelled)
 
     @property
     def deadline(self) -> Optional[float]:
         """Virtual time at which the timer will fire, or None if disarmed."""
         if self.armed:
-            assert self._handle is not None
-            return self._handle.time
+            assert self._event is not None
+            return self._event.time
         return None
 
     def start(self, delay_ms: float) -> None:
         """(Re)arm the timer to fire ``delay_ms`` from now."""
         self.stop()
-        self._handle = self._process.sim.call_after(
-            delay_ms, self._fire, label=self._label
-        )
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay {delay_ms}")
+        sim = self._process.sim
+        event = sim.schedule(sim.now + delay_ms, self._fire,
+                             label=self._label)
+        self._event = event
+        self._sequence = event.sequence
 
     def stop(self) -> None:
         """Disarm the timer. Idempotent."""
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        event = self._event
+        if event is not None:
+            self._process.sim._cancel_event(event, self._sequence)
+            self._event = None
 
     def _fire(self) -> None:
-        self._handle = None
+        self._event = None
         if self._process.crashed:
             return
         self._callback()
@@ -98,13 +114,13 @@ class Process:
     def after(self, delay_ms: float, callback: Callable[[], None],
               label: str = "") -> EventHandle:
         """Schedule ``callback`` unless the process is crashed when it fires."""
+        return self.sim.call_after(delay_ms, self._run_unless_crashed,
+                                   label=label or self.name,
+                                   args=(callback,))
 
-        def guarded() -> None:
-            if not self._crashed:
-                callback()
-
-        return self.sim.call_after(delay_ms, guarded,
-                                   label=label or self.name)
+    def _run_unless_crashed(self, callback: Callable[[], None]) -> None:
+        if not self._crashed:
+            callback()
 
     def _register_timer(self, timer: Timer) -> None:
         self._timers.append(timer)

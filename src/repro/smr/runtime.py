@@ -58,6 +58,16 @@ class NodeBase(Process):
         """Send a message through the network."""
         self.network.send(self.name, dst, payload, size_bytes=size_bytes)
 
+    def multicast(self, dsts: Sequence[str], payload: Any,
+                  size_bytes: int = 0) -> None:
+        """Send the same payload to each destination in order.
+
+        Equivalent to sending sequentially, but the network resolves the
+        sender-side bookkeeping once for the whole broadcast.
+        """
+        self.network.multicast(self.name, dsts, payload,
+                               size_bytes=size_bytes)
+
 
 class ReplicaBase(NodeBase):
     """Base class for protocol replicas.

@@ -41,12 +41,16 @@ class ClosedLoopDriver:
         """Arm every client's first request at t=0 (staggered by a hair to
         avoid a thundering-herd artifact at the very first instant)."""
         base = self.runtime.sim.now
-        for index, client in enumerate(self.runtime.clients):
+        clients = self.runtime.clients
+        # Spread initial sends over the first millisecond by actual index:
+        # with more than 100 clients the spacing shrinks so every client
+        # still gets a distinct instant (a modulo would re-collide whole
+        # cohorts at identical offsets, re-creating the herd).
+        spacing = 0.01 if len(clients) <= 100 else 1.0 / len(clients)
+        for index, client in enumerate(clients):
             client.on_commit = self._make_on_commit(client)
-            # Spread initial sends over the first millisecond.
-            offset = (index % 100) * 0.01
             self.runtime.sim.call_at(
-                base + offset, lambda c=client: self._issue(c),
+                base + index * spacing, self._issue, args=(client,),
                 label=f"start-{client.name}")
 
     def _make_on_commit(self, client) -> Callable[[tuple, float], None]:

@@ -54,6 +54,25 @@ class TestCpuMeter:
         meter.charge_sign()
         assert meter.utilisation_percent(0.0) == 0.0
 
+    def test_utilisation_over_measured_window(self):
+        # busy_since_us subtracts warmup-time work: 3000 us accumulated in
+        # warmup, 2000 us in a 1 ms measured window -> 200%.
+        meter = CpuMeter(CostModel())
+        meter.charge("x", 3_000.0)
+        mark = meter.busy_us
+        meter.charge("x", 2_000.0)
+        assert meter.utilisation_percent(
+            1.0, busy_since_us=mark) == pytest.approx(200.0)
+
+    def test_charge_macs_matches_repeated_charge_mac(self):
+        bulk = CpuMeter(CostModel())
+        loop = CpuMeter(CostModel())
+        bulk.charge_macs(7, 1024)
+        for _ in range(7):
+            loop.charge_mac(1024)
+        assert bulk.busy_us == pytest.approx(loop.busy_us)
+        assert bulk.breakdown().keys() == loop.breakdown().keys()
+
     def test_negative_charge_rejected(self):
         meter = CpuMeter(CostModel())
         with pytest.raises(ValueError):

@@ -10,10 +10,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_bench_defaults(self):
-        args = build_parser().parse_args(["bench"])
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
         assert args.protocol == "xpaxos"
         assert args.clients == [8, 32, 96]
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.output == "BENCH_perf.json"
+        assert args.events > 0 and args.messages > 0
 
     def test_tables_requires_which(self):
         with pytest.raises(SystemExit):
@@ -21,7 +26,7 @@ class TestParser:
 
     def test_invalid_protocol_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["bench", "--protocol", "raft"])
+            build_parser().parse_args(["sweep", "--protocol", "raft"])
 
 
 class TestCommands:
@@ -38,13 +43,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "9avail" in out
 
-    def test_bench_command_small(self, capsys):
-        code = main(["bench", "--protocol", "paxos", "--clients", "4",
+    def test_sweep_command_small(self, capsys):
+        code = main(["sweep", "--protocol", "paxos", "--clients", "4",
                      "--duration", "1"])
         assert code == 0
         out = capsys.readouterr().out
         assert "paxos" in out
         assert "kops/s" in out
+
+    def test_bench_command_small(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_perf.json"
+        code = main(["bench", "--events", "2000", "--messages", "1000",
+                     "--broadcast-rounds", "200", "--clients", "2",
+                     "--duration", "0.5", "--repeat", "1",
+                     "--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event_churn" in out
+        payload = json.loads(out_path.read_text())
+        benches = payload["benchmarks"]
+        assert set(benches) == {"event_churn", "message_storm",
+                                "broadcast_storm", "xpaxos_closed_loop"}
+        # The optimized paths must be observationally identical to the seed.
+        assert benches["message_storm"]["results_match"]
+        assert benches["broadcast_storm"]["results_match"]
+        assert benches["xpaxos_closed_loop"]["deterministic"]
 
     def test_compare_command_small(self, capsys):
         code = main(["compare", "--clients", "4", "--duration", "1"])

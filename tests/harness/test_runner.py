@@ -67,6 +67,34 @@ class TestSweep:
         throughputs = [p.result.throughput_kops for p in points]
         assert throughputs[2] > throughputs[0]
 
+    def test_sweep_preserves_all_workload_fields(self):
+        # Regression: sweep_clients used to hand-copy fields, silently
+        # dropping any WorkloadConfig field added later.  With
+        # dataclasses.replace only num_clients and seed may differ.
+        import dataclasses
+
+        runner = lan_runner()
+        base = WorkloadConfig(num_clients=1, request_size=256, reply_size=64,
+                              duration_ms=400.0, warmup_ms=50.0,
+                              client_site="CA", seed=9)
+        seen = []
+        original = runner.run_point
+
+        def spy(config, workload):
+            seen.append(workload)
+            return original(config, workload)
+
+        runner.run_point = spy
+        runner.sweep_clients(fast_config(), [1, 2], base)
+        assert [w.num_clients for w in seen] == [1, 2]
+        for workload in seen:
+            for f in dataclasses.fields(WorkloadConfig):
+                if f.name == "num_clients":
+                    continue
+                expected = (base.seed + workload.num_clients
+                            if f.name == "seed" else getattr(base, f.name))
+                assert getattr(workload, f.name) == expected, f.name
+
     def test_peak_and_format(self):
         runner = lan_runner()
         workload = WorkloadConfig(num_clients=1, request_size=128,

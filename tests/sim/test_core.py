@@ -161,6 +161,137 @@ class TestRun:
         assert sim.executed == 5
 
 
+class TestLiveCount:
+    """The live-event counter behind the O(1) ``pending`` property."""
+
+    def test_cancel_decrements_immediately(self):
+        sim = Simulator()
+        handles = [sim.call_at(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending == 3
+
+    def test_double_cancel_does_not_double_decrement(self):
+        sim = Simulator()
+        keep = sim.call_at(1.0, lambda: None)
+        drop = sim.call_at(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.active
+
+    def test_execution_decrements(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        sim.step()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_handle_inert_after_fire(self):
+        sim = Simulator()
+        handle = sim.call_at(1.0, lambda: None)
+        sim.run()
+        assert not handle.active
+        handle.cancel()  # must be a no-op
+        assert sim.pending == 0
+
+    def test_stale_handle_cannot_cancel_recycled_event(self):
+        # After its event fires, a handle must never affect a later event
+        # that happens to reuse the same pooled Event object.
+        sim = Simulator()
+        seen = []
+        old = sim.call_at(1.0, lambda: None)
+        sim.run()
+        fresh = sim.call_at(2.0, lambda: seen.append("fresh"))
+        old.cancel()
+        assert fresh.active
+        sim.run()
+        assert seen == ["fresh"]
+
+    def test_drain_with_cancelled_events(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: seen.append(1))
+        sim.call_at(2.0, lambda: None).cancel()
+        assert sim.drain() == 1
+        assert seen == [1]
+        assert sim.pending == 0
+
+
+class TestCompactionAndPool:
+    """Cancel-heavy churn: the heap compacts, events are recycled, and
+    delivery order is unaffected."""
+
+    def test_mass_cancellation_preserves_order(self):
+        sim = Simulator()
+        seen = []
+        handles = []
+        for i in range(1000):
+            handles.append(
+                sim.call_at(float(i), lambda i=i: seen.append(i)))
+        for i, handle in enumerate(handles):
+            if i % 10 != 0:
+                handle.cancel()
+        assert sim.pending == 100
+        sim.run()
+        assert seen == list(range(0, 1000, 10))
+        assert sim.pending == 0
+
+    def test_cancel_reschedule_churn_stays_consistent(self):
+        # The protocol hot pattern: cancel a far-out timer and re-arm it on
+        # every 'reply'.  Counts must stay exact through pooling/compaction.
+        sim = Simulator()
+        fired = []
+        state = {"timer": None, "count": 0}
+
+        def on_timer():
+            fired.append(sim.now)
+
+        def reply():
+            state["count"] += 1
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            state["timer"] = sim.call_after(10_000.0, on_timer)
+            if state["count"] < 500:
+                sim.call_after(1.0, reply)
+
+        sim.call_at(0.0, reply)
+        sim.run(until=600.0)
+        assert state["count"] == 500
+        assert fired == []  # always re-armed before expiry
+        assert sim.pending == 1  # exactly the last timer survives
+        sim.run()
+        assert fired == [10_000.0 + 499.0]
+
+    def test_args_passed_to_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, seen.append, args=(42,))
+        sim.call_after(2.0, lambda a, b: seen.append(a + b), args=(1, 2))
+        sim.run()
+        assert seen == [42, 3]
+
+    def test_cancellation_inside_callback_during_run(self):
+        # Compaction can trigger mid-run (a callback cancels en masse); the
+        # remaining schedule must still fire in order.
+        sim = Simulator()
+        seen = []
+        victims = [sim.call_at(50.0 + i, lambda i=i: seen.append(i))
+                   for i in range(200)]
+
+        def massacre():
+            for v in victims[1:]:
+                v.cancel()
+
+        sim.call_at(10.0, massacre)
+        sim.call_at(40.0, lambda: seen.append("pre"))
+        sim.run()
+        assert seen == ["pre", 0]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def trace():

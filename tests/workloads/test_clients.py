@@ -58,6 +58,49 @@ class TestClosedLoop:
         assert all(op[0] == "custom" for op in seen_ops)
 
 
+class TestStartStagger:
+    """Initial sends spread over the first millisecond without cohort
+    collisions (regression: >100 clients used to collide modulo 100)."""
+
+    class _FakeClient:
+        def __init__(self, sim, index):
+            self.sim = sim
+            self.client_id = index
+            self.name = f"c{index}"
+            self.crashed = False
+            self.busy = False
+            self.on_commit = None
+            self.issued_at = None
+
+        def propose(self, op, size_bytes=0):
+            self.issued_at = self.sim.now
+
+    def _start_times(self, num_clients):
+        from types import SimpleNamespace
+
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        clients = [self._FakeClient(sim, i) for i in range(num_clients)]
+        runtime = SimpleNamespace(sim=sim, clients=clients)
+        workload = WorkloadConfig(num_clients=num_clients, request_size=64,
+                                  duration_ms=100.0, warmup_ms=0.0)
+        driver = ClosedLoopDriver(runtime, workload)
+        driver.start()
+        sim.run(until=2.0)
+        return [c.issued_at for c in clients]
+
+    def test_all_offsets_distinct_beyond_100_clients(self):
+        times = self._start_times(150)
+        assert None not in times
+        assert len(set(times)) == 150
+        assert max(times) < 1.0
+
+    def test_small_counts_keep_original_spacing(self):
+        times = self._start_times(5)
+        assert times == pytest.approx([0.0, 0.01, 0.02, 0.03, 0.04])
+
+
 class TestWorkloadConfigValidation:
     def test_invalid_warmup_rejected(self):
         with pytest.raises(ConfigurationError):
