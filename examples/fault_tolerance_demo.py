@@ -1,102 +1,96 @@
 #!/usr/bin/env python3
-"""Fault-tolerance demo: crashes, partitions, and a Byzantine replica.
+"""Fault-tolerance demo, written against the Scenario API.
 
-Three acts, all on the paper's t = 1 geo deployment:
+Three acts, each one cell of the scenario conformance matrix
+(:mod:`repro.scenarios` + :mod:`repro.harness.matrix`):
 
-1. **Crash faults** -- the Figure 9 pattern: crash the follower, then the
-   primary, then the passive replica; watch view changes keep the service
-   alive.
-2. **Network faults** -- partition the synchronous group; XPaxos rotates
-   to a connected group.
-3. **A non-crash fault** -- a data-loss adversary on the primary; with
-   fault detection enabled, the view change convicts it (Section 4.4).
+1. **Crash faults** -- the Figure 9 pattern (``rolling-crashes``): each
+   replica crashes in turn; view changes keep the service alive.
+2. **Network faults** -- a partitioned follower (``follower-isolated``);
+   XPaxos rotates to a connected synchronous group.
+3. **A non-crash fault** -- a data-loss adversary on the primary
+   (``byzantine-primary-data-loss``); with fault detection enabled, the
+   view change convicts it (Section 4.4) while the system stays outside
+   anarchy.
+
+The same cells regress in CI; run ``python -m repro scenarios`` for the
+full matrix, or define your own :class:`repro.scenarios.Scenario` as in
+``custom_scenario()`` below.
 
 Run:  python examples/fault_tolerance_demo.py
 """
 
-from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
-from repro.faults.adversary import DataLossAdversary
-from repro.faults.checker import SafetyChecker
-from repro.faults.injector import FaultInjector, FaultSchedule
-from repro.protocols.registry import build_cluster
-from repro.workloads.clients import ClosedLoopDriver
+from repro.common.config import ProtocolName
+from repro.faults.injector import FaultSchedule
+from repro.harness.matrix import MatrixRunner
+from repro.scenarios import Scenario, get_scenario
 
 
-def build(use_fd=False, seed=1):
-    config = ClusterConfig(
-        t=1, protocol=ProtocolName.XPAXOS,
-        delta_ms=50.0, request_retransmit_ms=200.0,
-        view_change_timeout_ms=500.0, batch_timeout_ms=2.0,
-        use_fault_detection=use_fd)
-    return build_cluster(config, num_clients=4, seed=seed)
+def show(title: str, cell) -> None:
+    print(f"== {title} ==")
+    print(f"  status={cell.status}  committed={cell.committed}  "
+          f"anarchy={cell.anarchy_observed}  "
+          f"safety violations={cell.safety_violations}  "
+          f"liveness stalls={cell.liveness_violations}")
+    if cell.detail:
+        print(f"  detail: {cell.detail}")
+    print()
 
 
-def drive(runtime, duration_ms):
-    driver = ClosedLoopDriver(
-        runtime, WorkloadConfig(num_clients=4, request_size=128,
-                                duration_ms=duration_ms, warmup_ms=100.0))
-    driver.run()
-    return driver
+def act_one_crashes(runner: MatrixRunner) -> None:
+    cell = runner.run_cell(ProtocolName.XPAXOS,
+                           get_scenario("rolling-crashes"))
+    show("act 1: rolling crashes (the Figure 9 pattern)", cell)
+    assert cell.ok, cell.detail
 
 
-def act_one_crashes() -> None:
-    print("== act 1: rolling crashes (the Figure 9 pattern) ==")
-    runtime = build()
-    schedule = (FaultSchedule()
-                .crash_for(2_000.0, 1, 1_000.0)   # follower
-                .crash_for(5_000.0, 0, 1_000.0)   # primary
-                .crash_for(8_000.0, 2, 1_000.0))  # passive
-    FaultInjector(runtime).arm(schedule)
-    checker = SafetyChecker(runtime)
-    driver = drive(runtime, 12_000.0)
-    checker.assert_safe()
-    print(f"  committed {driver.throughput.total} requests through "
-          f"three crashes")
-    print(f"  final views: {[r.view for r in runtime.replicas]} "
-          f"(view changed only when an ACTIVE replica crashed)")
+def act_two_partitions(runner: MatrixRunner) -> None:
+    cell = runner.run_cell(ProtocolName.XPAXOS,
+                           get_scenario("follower-isolated"))
+    show("act 2: network fault inside the synchronous group", cell)
+    assert cell.ok, cell.detail
 
 
-def act_two_partitions() -> None:
-    print("\n== act 2: network fault inside the synchronous group ==")
-    runtime = build(seed=2)
-    schedule = (FaultSchedule()
-                .partition(2_000.0, "r0", "r1")
-                .heal(5_000.0, "r0", "r1"))
-    FaultInjector(runtime).arm(schedule)
-    checker = SafetyChecker(runtime)
-    driver = drive(runtime, 8_000.0)
-    checker.assert_safe()
-    views = {r.view for r in runtime.replicas}
-    print(f"  committed {driver.throughput.total}; views now {views}")
-    print("  the group (r0,r1) could not talk -> XPaxos rotated to a "
-          "connected group")
-
-
-def act_three_byzantine() -> None:
-    print("\n== act 3: data-loss fault + fault detection ==")
-    runtime = build(use_fd=True, seed=3)
-    # The primary will lose its logs above sequence number 1.
-    runtime.replica(0).byzantine = DataLossAdversary(keep_upto=1)
-    FaultInjector(runtime).arm(
-        FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
-    checker = SafetyChecker(runtime)
-    checker.declare_non_crash_faulty(0)
-    driver = drive(runtime, 8_000.0)
-    detected = {i for i in range(3)
-                if 0 in runtime.replica(i).detected_faulty}
-    print(f"  committed {driver.throughput.total}")
-    print(f"  replicas that convicted the faulty primary: "
-          f"{sorted('r%d' % i for i in detected)}")
-    assert detected, "fault detection failed to convict"
+def act_three_byzantine(runner: MatrixRunner) -> None:
+    cell = runner.run_cell(ProtocolName.XPAXOS,
+                           get_scenario("byzantine-primary-data-loss"))
+    show("act 3: data-loss fault + fault detection", cell)
+    assert cell.ok and cell.detection_ok, cell.detail
     print("  outside anarchy the fault was caught BEFORE it could pair "
-          "with enough crashes to break consistency")
+          "with enough crashes to break consistency\n")
+
+
+def custom_scenario() -> Scenario:
+    """Rolling a scenario of your own takes a schedule and invariants."""
+    return Scenario(
+        name="demo-custom",
+        description="crash the follower while its link to the passive "
+                    "replica flaps, then require full recovery",
+        schedule=lambda config: (
+            FaultSchedule()
+            .crash_for(2_000.0, 1, 800.0)
+            .merge(FaultSchedule.flapping_partition(
+                "r1", "r2", start_ms=3_200.0, period_ms=600.0, flaps=2))),
+        protocols=frozenset({ProtocolName.XPAXOS, ProtocolName.PAXOS}),
+        liveness_bound_ms=2_500.0,
+    )
+
+
+def act_four_custom(runner: MatrixRunner) -> None:
+    scenario = custom_scenario()
+    for protocol in (ProtocolName.XPAXOS, ProtocolName.PAXOS):
+        cell = runner.run_cell(protocol, scenario)
+        show(f"act 4: a custom scenario on {protocol.value}", cell)
+        assert cell.ok, cell.detail
 
 
 def main() -> None:
-    act_one_crashes()
-    act_two_partitions()
-    act_three_byzantine()
-    print("\nall three acts completed with total order intact")
+    runner = MatrixRunner(seed=1)
+    act_one_crashes(runner)
+    act_two_partitions(runner)
+    act_three_byzantine(runner)
+    act_four_custom(runner)
+    print("all acts completed with total order intact")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 tests + perf smoke, run on every PR.
+# CI entry point: tier-1 tests + perf smoke + scenario smoke, on every PR.
 #
-#   scripts/ci.sh            # full tier-1 suite, then the perf harness
+#   scripts/ci.sh            # full tier-1 suite, then the smoke stages
 #
 # The perf harness (`repro bench`, see src/repro/harness/perf.py) compares
 # the current simulator/network hot paths against the preserved seed
 # implementation and refreshes BENCH_perf.json, so every PR leaves a perf
 # trajectory point and any behavioral divergence from the seed fails CI.
+#
+# The scenario smoke (`repro scenarios`, see src/repro/scenarios/) runs a
+# small slice of the conformance matrix through the CLI path -- the full
+# matrix already runs under tier-1 via tests/scenarios/ -- so CLI-level
+# regressions in the fault/safety/liveness plumbing fail PRs too.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,4 +37,26 @@ assert benches["xpaxos_closed_loop"]["deterministic"]
 print("perf smoke ok: " + ", ".join(
     f"{name} {bench['speedup']:.2f}x"
     for name, bench in benches.items() if "speedup" in bench))
+EOF
+
+echo "== scenario smoke: conformance matrix slice =="
+python -m repro scenarios --protocol all \
+    --scenario fault-free \
+    --scenario crash-follower \
+    --scenario client-primary-partition \
+    --scenario byzantine-primary-data-loss \
+    --json SCENARIO_smoke.json
+
+python - <<'EOF'
+import json
+
+with open("SCENARIO_smoke.json") as fh:
+    payload = json.load(fh)
+cells = payload["cells"]
+bad = [c for c in cells
+       if c["status"] not in ("pass", "expected-violation", "skipped")]
+assert not bad, bad
+in_scope = [c for c in cells if c["status"] != "skipped"]
+assert len(in_scope) >= 10, f"only {len(in_scope)} in-scope cells"
+print(f"scenario smoke ok: {len(in_scope)} cells pass")
 EOF

@@ -16,6 +16,9 @@ This package provides:
 * :mod:`repro.faults` -- fault injection (crashes, data loss, equivocation,
   network partitions) used for the under-faults experiment (Figure 9) and the
   safety/fault-detection test suites.
+* :mod:`repro.scenarios` -- declarative fault scenarios (schedule +
+  workload + invariants) and the built-in conformance library run by the
+  ``repro scenarios`` matrix.
 * :mod:`repro.reliability` -- the closed-form reliability analysis of
   Section 6 (nines of consistency / availability; Tables 1 and 5-8).
 * :mod:`repro.zk` -- a ZooKeeper-like coordination service used by the
@@ -26,6 +29,7 @@ This package provides:
 """
 
 from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.scenarios.scenario import Scenario
 from repro.sim.core import Simulator
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
@@ -45,6 +49,7 @@ __all__ = [
     "ClusterConfig",
     "ProtocolName",
     "WorkloadConfig",
+    "Scenario",
     "Simulator",
     "Network",
     "LatencyModel",

@@ -5,6 +5,7 @@ Examples::
     python -m repro sweep --protocol xpaxos --clients 8 32 96
     python -m repro compare --t 1
     python -m repro faults --duration 60
+    python -m repro scenarios --protocol all
     python -m repro reliability --nines-benign 4 --nines-correct 3 \
         --nines-synchrony 3
     python -m repro tables --which 5
@@ -15,6 +16,11 @@ point-to-point message storm, n-way broadcast storm, closed-loop XPaxos;
 see :mod:`repro.harness.perf`) against both the current hot paths and the
 preserved seed implementation, and writes ``BENCH_perf.json`` so every PR
 records a perf trajectory point.
+
+``scenarios`` runs the conformance matrix: every scenario of the built-in
+library (crash cadences, partitions, Byzantine adversaries, anarchy
+boundary crossings; see :mod:`repro.scenarios.library`) against the
+selected protocols, grading each cell's safety/liveness invariants.
 """
 
 from __future__ import annotations
@@ -148,6 +154,42 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Run the scenario conformance matrix and print the grid."""
+    from repro.harness.matrix import MatrixRunner
+    from repro.scenarios.library import builtin_scenarios, get_scenario
+
+    if args.list:
+        for scenario in builtin_scenarios():
+            scope = "all" if scenario.protocols is None else ",".join(
+                sorted(p.value for p in scenario.protocols))
+            print(f"{scenario.name:<32} [{scope}] {scenario.description}")
+        return 0
+    if args.scenario:
+        try:
+            scenarios = [get_scenario(name) for name in args.scenario]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        scenarios = builtin_scenarios()
+    if args.protocol == "all":
+        protocols = list(ProtocolName)
+    else:
+        protocols = [ProtocolName(args.protocol)]
+    runner = MatrixRunner(seed=args.seed, t=args.t)
+    result = runner.run_matrix(scenarios=scenarios, protocols=protocols)
+    print(result.format_grid())
+    for cell in result.failures:
+        print(f"FAIL {cell.scenario} x {cell.protocol}: {cell.detail}",
+              file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json())
+        print(f"wrote {args.json}")
+    return 1 if result.failures else 0
+
+
 def cmd_reliability(args: argparse.Namespace) -> int:
     """Nines of consistency/availability at one grid point."""
     from repro.reliability.tables import availability_cell, consistency_cell
@@ -238,6 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--duration", type=float, default=125.0,
                         help="virtual seconds")
     faults.set_defaults(func=cmd_faults)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="scenario conformance matrix")
+    scenarios.add_argument("--protocol", default="all",
+                           choices=["all"] + [p.value for p in ProtocolName])
+    scenarios.add_argument("--t", type=int, default=1)
+    scenarios.add_argument("--scenario", action="append", default=[],
+                           metavar="NAME",
+                           help="run only these scenarios (repeatable)")
+    scenarios.add_argument("--list", action="store_true",
+                           help="list known scenarios and exit")
+    scenarios.add_argument("--json", default=None, metavar="PATH",
+                           help="also write the cell records as JSON")
+    scenarios.set_defaults(func=cmd_scenarios)
 
     reliability = sub.add_parser("reliability",
                                  help="nines at one grid point")

@@ -7,6 +7,7 @@ from repro.faults.adversary import (
     SilentAdversary,
 )
 from repro.faults.checker import SafetyChecker, check_total_order
+from repro.faults.liveness import LivenessChecker, LivenessViolation
 
 __all__ = [
     "FaultInjector",
@@ -16,4 +17,6 @@ __all__ = [
     "SilentAdversary",
     "SafetyChecker",
     "check_total_order",
+    "LivenessChecker",
+    "LivenessViolation",
 ]

@@ -123,11 +123,13 @@ class SafetyChecker:
 
     def observe_periodically(self, period_ms: float,
                              until_ms: float) -> None:
-        """Schedule periodic observations on the simulator."""
-        t = self.runtime.sim.now
-        while t <= until_ms:
-            self.runtime.sim.call_at(t, self.observe, label="safety-obs")
-            t += period_ms
+        """Schedule periodic observations on the simulator.
+
+        One live event at a time (``Simulator.call_every``): arming a
+        long horizon costs O(1) heap entries, not O(until/period).
+        """
+        self.runtime.sim.call_every(period_ms, self.observe, until_ms,
+                                    label="safety-obs")
 
     # ------------------------------------------------------------------
     def benign_traces(self) -> Dict[int, Sequence[tuple]]:

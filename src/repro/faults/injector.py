@@ -20,12 +20,13 @@ class FaultEvent:
     """One scripted event in a fault schedule."""
 
     at_ms: float
-    kind: str          # "crash" | "recover" | "partition" | "heal"
+    kind: str          # "crash" | "recover" | "partition" | "heal" | "suspect"
     replica: Optional[int] = None
     pair: Optional[Tuple[str, str]] = None
 
     def __post_init__(self) -> None:
-        if self.kind in ("crash", "recover") and self.replica is None:
+        if self.kind in ("crash", "recover", "suspect") \
+                and self.replica is None:
             raise ValueError(f"{self.kind} event needs a replica id")
         if self.kind in ("partition", "heal") and self.pair is None:
             raise ValueError(f"{self.kind} event needs a node pair")
@@ -62,6 +63,90 @@ class FaultSchedule:
         """Unblock the pair ``(a, b)`` at ``at_ms``."""
         self.events.append(FaultEvent(at_ms, "heal", pair=(a, b)))
         return self
+
+    def partition_for(self, at_ms: float, a: str, b: str,
+                      downtime_ms: float) -> "FaultSchedule":
+        """Block the pair, then heal it after ``downtime_ms``."""
+        return self.partition(at_ms, a, b).heal(at_ms + downtime_ms, a, b)
+
+    def isolate(self, at_ms: float, node: str,
+                others: Sequence[str]) -> "FaultSchedule":
+        """Block ``node`` from every node in ``others`` at ``at_ms``."""
+        for other in others:
+            if other != node:
+                self.partition(at_ms, node, other)
+        return self
+
+    def heal_isolation(self, at_ms: float, node: str,
+                       others: Sequence[str]) -> "FaultSchedule":
+        """Unblock ``node`` from every node in ``others`` at ``at_ms``."""
+        for other in others:
+            if other != node:
+                self.heal(at_ms, node, other)
+        return self
+
+    def suspect(self, at_ms: float, replica: int) -> "FaultSchedule":
+        """Make ``replica`` suspect its current view at ``at_ms``.
+
+        Triggers a view change without any actual crash or partition --
+        the injector calls ``replica.suspect_view(replica.view)`` on
+        protocols that support it (XPaxos); a no-op elsewhere.
+        """
+        self.events.append(FaultEvent(at_ms, "suspect", replica=replica))
+        return self
+
+    # -- composition ------------------------------------------------------
+    def shift(self, offset_ms: float) -> "FaultSchedule":
+        """A copy of this schedule with every event offset by
+        ``offset_ms``."""
+        return FaultSchedule([
+            FaultEvent(e.at_ms + offset_ms, e.kind, replica=e.replica,
+                       pair=e.pair)
+            for e in self.events])
+
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """A new schedule containing the events of both, by time."""
+        merged = FaultSchedule(list(self.events) + list(other.events))
+        merged.events.sort(key=lambda e: e.at_ms)
+        return merged
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return self.merge(other)
+
+    @property
+    def end_ms(self) -> float:
+        """Time of the last scripted event (0 when empty)."""
+        return max((e.at_ms for e in self.events), default=0.0)
+
+    # -- canned patterns --------------------------------------------------
+    @classmethod
+    def rolling_crashes(cls, replicas: Sequence[int], start_ms: float,
+                        interval_ms: float,
+                        downtime_ms: float) -> "FaultSchedule":
+        """Crash each replica in turn, one at a time.
+
+        ``downtime_ms`` must not exceed ``interval_ms`` if at most one
+        replica should be down at any instant (the Figure 9 cadence).
+        """
+        schedule = cls()
+        for index, replica in enumerate(replicas):
+            schedule.crash_for(start_ms + index * interval_ms, replica,
+                               downtime_ms)
+        return schedule
+
+    @classmethod
+    def flapping_partition(cls, a: str, b: str, start_ms: float,
+                           period_ms: float, flaps: int,
+                           duty: float = 0.5) -> "FaultSchedule":
+        """Block/heal the pair ``flaps`` times: each flap blocks for
+        ``duty * period_ms`` then heals for the rest of the period."""
+        if not 0.0 < duty < 1.0:
+            raise ValueError(f"duty must be in (0, 1), got {duty}")
+        schedule = cls()
+        for flap in range(flaps):
+            at = start_ms + flap * period_ms
+            schedule.partition_for(at, a, b, duty * period_ms)
+        return schedule
 
     @classmethod
     def figure9(cls, base_ms: float = 0.0,
@@ -107,6 +192,12 @@ class FaultInjector:
         elif event.kind == "heal":
             assert event.pair is not None
             self.runtime.network.partitions.unblock_pair(*event.pair)
+        elif event.kind == "suspect":
+            assert event.replica is not None
+            replica = self.runtime.replica(event.replica)
+            suspect = getattr(replica, "suspect_view", None)
+            if suspect is not None and not replica.crashed:
+                suspect(replica.view)
 
     # -- immediate (unscheduled) injection --------------------------------
     def crash_now(self, replica: int) -> None:

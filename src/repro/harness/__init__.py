@@ -6,6 +6,7 @@ from repro.harness.runner import (
     SweepPoint,
 )
 from repro.harness.configs import replica_placement_table
+from repro.harness.matrix import CellResult, MatrixResult, MatrixRunner
 from repro.harness.timeline import run_fault_timeline
 
 __all__ = [
@@ -14,4 +15,7 @@ __all__ = [
     "SweepPoint",
     "replica_placement_table",
     "run_fault_timeline",
+    "MatrixRunner",
+    "MatrixResult",
+    "CellResult",
 ]

@@ -1,0 +1,265 @@
+"""Scenario conformance matrix: run ``(protocol x scenario)`` cells.
+
+Each cell builds a fresh deterministic cluster, injects the scenario's
+fault schedule and adversaries, drives the closed-loop workload, and
+grades the run against the scenario's invariants:
+
+* **safety** -- total order among benign replicas
+  (:class:`~repro.faults.checker.SafetyChecker`), admissible to violate
+  only when the scenario intentionally enters anarchy;
+* **liveness** -- commit progress within the scenario's bound whenever
+  the system is healthy (:class:`~repro.faults.liveness.LivenessChecker`);
+* **expectations** -- anarchy observed for anarchy scenarios, adversaries
+  convicted for detection scenarios, a floor on total commits.
+
+Cells are fully deterministic: repeating a cell with the same seed
+produces a byte-identical JSON record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.config import (
+    ClusterConfig,
+    ProtocolName,
+    WorkloadConfig,
+    sites_for,
+)
+from repro.faults.checker import SafetyChecker
+from repro.faults.injector import FaultInjector
+from repro.faults.liveness import LivenessChecker
+from repro.net.latency import LatencyModel
+from repro.protocols.registry import build_cluster
+from repro.scenarios.library import builtin_scenarios
+from repro.scenarios.scenario import Scenario
+from repro.workloads.clients import ClosedLoopDriver
+
+#: Statuses a cell can end in.
+PASS = "pass"
+FAIL = "fail"
+EXPECTED_VIOLATION = "expected-violation"
+SKIPPED = "skipped"
+
+#: Fast timeouts for conformance cells (scenarios are phrased in a few
+#: virtual seconds, not paper-scale ones).  The test suite's FAST_TIMEOUTS
+#: is defined as a copy of this dict, so cells and unit tests always run
+#: under identical timeouts.
+CELL_TIMEOUTS = dict(
+    delta_ms=50.0,
+    request_retransmit_ms=200.0,
+    view_change_timeout_ms=400.0,
+    batch_timeout_ms=2.0,
+)
+
+#: Anarchy observation period (well under every schedule's fault windows).
+OBSERVE_PERIOD_MS = 50.0
+
+
+@dataclass
+class CellResult:
+    """Outcome of one ``(protocol, scenario)`` cell."""
+
+    protocol: str
+    scenario: str
+    status: str
+    committed: int = 0
+    anarchy_observed: bool = False
+    safety_violations: int = 0
+    liveness_violations: int = 0
+    detection_ok: bool = True
+    seed: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Did the cell satisfy its invariants (or stay out of scope)?"""
+        return self.status in (PASS, EXPECTED_VIOLATION, SKIPPED)
+
+
+@dataclass
+class MatrixResult:
+    """All cells of one matrix run."""
+
+    seed: int
+    cells: List[CellResult] = field(default_factory=list)
+
+    def cell(self, protocol: ProtocolName, scenario: str) -> CellResult:
+        """Look one cell up."""
+        for cell in self.cells:
+            if cell.protocol == protocol.value and cell.scenario == scenario:
+                return cell
+        raise KeyError(f"no cell ({protocol.value}, {scenario})")
+
+    @property
+    def failures(self) -> List[CellResult]:
+        """Cells that did not satisfy their invariants."""
+        return [c for c in self.cells if not c.ok]
+
+    def to_json(self) -> str:
+        """Stable JSON rendering (byte-identical across equal-seed runs)."""
+        payload = {
+            "seed": self.seed,
+            "cells": [asdict(c) for c in sorted(
+                self.cells, key=lambda c: (c.scenario, c.protocol))],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    def format_grid(self) -> str:
+        """Plain-text scenario x protocol grid (only protocols run)."""
+        present = {c.protocol for c in self.cells}
+        protocols = [p.value for p in ProtocolName if p.value in present]
+        scenarios: List[str] = []
+        for cell in self.cells:
+            if cell.scenario not in scenarios:
+                scenarios.append(cell.scenario)
+        by_key: Dict[tuple, CellResult] = {
+            (c.scenario, c.protocol): c for c in self.cells}
+        symbol = {PASS: "ok", FAIL: "FAIL",
+                  EXPECTED_VIOLATION: "anarchy", SKIPPED: "-"}
+        width = max(len(s) for s in scenarios) if scenarios else 8
+        lines = [" " * width + "  " + "".join(f"{p:>9}" for p in protocols)]
+        for scenario in scenarios:
+            row = f"{scenario:<{width}}  "
+            for protocol in protocols:
+                cell = by_key.get((scenario, protocol))
+                mark = symbol[cell.status] if cell else "?"
+                row += f"{mark:>9}"
+            lines.append(row)
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        summary = ", ".join(f"{counts[s]} {s}" for s in
+                            (PASS, EXPECTED_VIOLATION, FAIL, SKIPPED)
+                            if s in counts)
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+class MatrixRunner:
+    """Executes scenario cells deterministically."""
+
+    def __init__(self, seed: int = 0, t: int = 1) -> None:
+        self.seed = seed
+        self.t = t
+
+    # ------------------------------------------------------------------
+    def base_config(self, protocol: ProtocolName,
+                    scenario: Scenario) -> ClusterConfig:
+        """The cell's cluster configuration."""
+        params = dict(CELL_TIMEOUTS)
+        params.update(scenario.config_overrides)
+        params.setdefault("sites", sites_for(protocol, self.t))
+        return ClusterConfig(t=self.t, protocol=protocol, **params)
+
+    def run_cell(self, protocol: ProtocolName,
+                 scenario: Scenario) -> CellResult:
+        """Run one cell and grade it."""
+        if not scenario.applies_to(protocol):
+            return CellResult(protocol=protocol.value,
+                              scenario=scenario.name, status=SKIPPED,
+                              seed=self.seed, detail="out of scope")
+        config = self.base_config(protocol, scenario)
+        assert config.sites is not None
+        client_site = config.sites[0]
+        latency = LatencyModel.uniform(
+            set(config.sites) | {client_site},
+            one_way_ms=scenario.one_way_ms, seed=self.seed)
+        runtime = build_cluster(config,
+                                num_clients=scenario.num_clients,
+                                latency=latency, client_site=client_site,
+                                seed=self.seed)
+        for replica_id, factory in sorted(scenario.adversaries.items()):
+            runtime.replica(replica_id).byzantine = factory()
+
+        checker = SafetyChecker(runtime,
+                                non_crash_faulty=scenario.adversaries)
+        checker.observe_periodically(OBSERVE_PERIOD_MS,
+                                     scenario.duration_ms)
+        liveness: Optional[LivenessChecker] = None
+        if scenario.check_liveness:
+            liveness = LivenessChecker(runtime,
+                                       bound_ms=scenario.liveness_bound_ms)
+            liveness.watch(scenario.duration_ms)
+        injector = FaultInjector(runtime)
+        injector.arm(scenario.schedule(config))
+        driver = ClosedLoopDriver(
+            runtime, WorkloadConfig(**scenario.workload_kwargs()))
+        driver.run()
+
+        return self._grade(protocol, scenario, runtime, checker, liveness,
+                           driver)
+
+    # ------------------------------------------------------------------
+    def _grade(self, protocol: ProtocolName, scenario: Scenario, runtime,
+               checker: SafetyChecker,
+               liveness: Optional[LivenessChecker],
+               driver: ClosedLoopDriver) -> CellResult:
+        violations = checker.violations()
+        liveness_violations = liveness.violations if liveness else []
+        committed = sum(len(c.completions) for c in runtime.clients)
+        detection_ok = True
+        if scenario.expect_detection:
+            # Only XPaxos replicas have a detector; on anything else the
+            # expectation is unsatisfiable by definition.
+            accused = set(scenario.adversaries)
+            detection_ok = bool(accused) and any(
+                accused <= getattr(replica, "detected_faulty", set())
+                for replica in runtime.replicas
+                if replica.replica_id not in accused)
+        result = CellResult(
+            protocol=protocol.value, scenario=scenario.name, status=PASS,
+            committed=committed,
+            anarchy_observed=checker.anarchy_observed,
+            safety_violations=len(violations),
+            liveness_violations=len(liveness_violations),
+            detection_ok=detection_ok, seed=self.seed)
+
+        if scenario.expect_anarchy:
+            # Safety is only promised outside anarchy (Definition 3): the
+            # cell documents the boundary instead of asserting order.
+            if checker.anarchy_observed:
+                result.status = EXPECTED_VIOLATION
+                result.detail = "anarchy reached as scripted"
+            else:
+                result.status = FAIL
+                result.detail = "scenario never reached anarchy"
+            return result
+
+        problems: List[str] = []
+        if violations and not checker.anarchy_observed:
+            problems.append(
+                f"{len(violations)} total-order violations outside anarchy")
+        if checker.anarchy_observed:
+            problems.append("unexpected anarchy")
+        if liveness_violations:
+            problems.append(f"{len(liveness_violations)} liveness stalls "
+                            f"(first: {liveness_violations[0]})")
+        if committed < scenario.min_committed:
+            problems.append(f"committed {committed} "
+                            f"< floor {scenario.min_committed}")
+        if not detection_ok:
+            problems.append("adversary never convicted")
+        if problems:
+            result.status = FAIL
+            result.detail = "; ".join(problems)
+        return result
+
+    # ------------------------------------------------------------------
+    def run_matrix(
+        self,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        protocols: Optional[Iterable[ProtocolName]] = None,
+    ) -> MatrixResult:
+        """Run every requested cell (default: full library x all five)."""
+        scenarios = list(scenarios) if scenarios is not None \
+            else builtin_scenarios()
+        protocols = list(protocols) if protocols is not None \
+            else list(ProtocolName)
+        result = MatrixResult(seed=self.seed)
+        for scenario in scenarios:
+            for protocol in protocols:
+                result.cells.append(self.run_cell(protocol, scenario))
+        return result

@@ -153,6 +153,12 @@ class PaxosReplica(BaselineReplica):
         digest = self.batch_digest(batch)
         self._proposed[seqno] = batch
         self._acks[seqno] = set()
+        # The leader accepts its own proposal (it is one of the majority
+        # counted in ``_on_accepted``).  Recording it here means a later
+        # ballot's merge re-proposes in-flight batches instead of losing
+        # them -- their rids are already in ``_seen_requests``, so client
+        # retransmissions alone could never resurrect them.
+        self._accepted[seqno] = (self.view, batch)
         accept = Accept(self.view, seqno, batch, digest)
         acceptors = [f"r{a}" for a in self.common_case_acceptors()]
         self.cpu.charge_macs(len(acceptors), batch.size_bytes)
@@ -243,6 +249,16 @@ class PaxosReplica(BaselineReplica):
             self._batch_timer.stop()
             self._proposed.clear()
             self._acks.clear()
+            if m.sender != self.replica_id:
+                # A fresher campaign is under way: abandon any stale one
+                # of our own (winning it later would roll the view back)
+                # and give the campaigner a grace period before we run
+                # against it -- forwarding a stalled client request
+                # re-arms the timer if the new leader fails to deliver.
+                if self._pending_ballot is not None \
+                        and m.view > self._pending_ballot:
+                    self._pending_ballot = None
+                self._election_timer.stop()
         # Ship every retained accepted entry: the new leader's merge picks
         # the highest-ballot value per slot and discards what it already
         # executed, so over-reporting is safe and simplest.

@@ -205,6 +205,32 @@ class Simulator:
         """Schedule ``callback`` at the current instant (after queued peers)."""
         return self.call_at(self._now, callback, label=label, args=args)
 
+    def call_every(self, period_ms: float, callback: Callback,
+                   until_ms: float, label: str = "") -> None:
+        """Run ``callback`` now and every ``period_ms`` until ``until_ms``
+        (inclusive).
+
+        Each firing schedules only the next one, so arming a long horizon
+        keeps O(1) live events instead of O(until/period) -- the pattern
+        the periodic safety/liveness observers rely on.  Ticks land at
+        exactly ``now + k * period_ms``.
+
+        Raises:
+            ValueError: if ``period_ms`` is not positive.
+        """
+        if period_ms <= 0:
+            raise ValueError(
+                f"period_ms must be positive, got {period_ms}")
+
+        def tick(at_ms: float) -> None:
+            callback()
+            next_ms = at_ms + period_ms
+            if next_ms <= until_ms:
+                self.call_at(next_ms, tick, args=(next_ms,), label=label)
+
+        if self._now <= until_ms:
+            self.call_at(self._now, tick, args=(self._now,), label=label)
+
     # ------------------------------------------------------------------
     # Cancellation (internal; EventHandle and Timer delegate here)
     # ------------------------------------------------------------------

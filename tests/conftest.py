@@ -2,20 +2,22 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import pytest
 
 from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.faults.checker import SafetyChecker
+from repro.faults.injector import FaultInjector, FaultSchedule
+from repro.harness.matrix import CELL_TIMEOUTS
 from repro.protocols.registry import build_cluster
+from repro.smr.runtime import ClusterRuntime
 from repro.workloads.clients import ClosedLoopDriver
 
 
-#: Tight timeouts so fault scenarios converge quickly in unit tests.
-FAST_TIMEOUTS = dict(
-    delta_ms=50.0,
-    request_retransmit_ms=200.0,
-    view_change_timeout_ms=400.0,
-    batch_timeout_ms=2.0,
-)
+#: Tight timeouts so fault scenarios converge quickly in unit tests --
+#: the same values the scenario conformance cells run under.
+FAST_TIMEOUTS = dict(CELL_TIMEOUTS)
 
 
 def make_cluster(protocol=ProtocolName.XPAXOS, t=1, num_clients=3,
@@ -39,6 +41,69 @@ def run_workload(runtime, duration_ms=3_000.0, warmup_ms=100.0,
     driver = ClosedLoopDriver(runtime, workload)
     driver.run()
     return driver
+
+
+@dataclass
+class ClusterHarness:
+    """A cluster plus the standard fault/safety instrumentation.
+
+    Bundles what nearly every fault test builds by hand: the runtime, a
+    fault injector, and an anarchy-aware safety checker.  ``drive`` runs
+    the closed-loop workload and returns the driver for assertions.
+    """
+
+    runtime: ClusterRuntime
+    injector: FaultInjector
+    checker: SafetyChecker
+
+    def arm(self, schedule: FaultSchedule) -> "ClusterHarness":
+        """Arm a fault schedule; returns self for chaining."""
+        self.injector.arm(schedule)
+        return self
+
+    def drive(self, duration_ms: float = 3_000.0,
+              warmup_ms: float = 100.0,
+              request_size: int = 64) -> ClosedLoopDriver:
+        """Run the closed-loop workload over all attached clients."""
+        driver = ClosedLoopDriver(
+            self.runtime,
+            WorkloadConfig(num_clients=len(self.runtime.clients),
+                           request_size=request_size,
+                           duration_ms=duration_ms, warmup_ms=warmup_ms))
+        driver.run()
+        return driver
+
+    # Convenience pass-throughs used all over the fault suites.
+    def replica(self, replica_id: int):
+        return self.runtime.replica(replica_id)
+
+    @property
+    def replicas(self):
+        return self.runtime.replicas
+
+    @property
+    def sim(self):
+        return self.runtime.sim
+
+
+def make_harness(protocol=ProtocolName.XPAXOS, t=1, num_clients=3,
+                 non_crash_faulty=(), seed=42,
+                 **overrides) -> ClusterHarness:
+    """A small fast-timeout cluster with injector and checker attached."""
+    params = dict(FAST_TIMEOUTS)
+    params.update(overrides)
+    config = ClusterConfig(t=t, protocol=protocol, **params)
+    runtime = build_cluster(config, num_clients=num_clients, seed=seed)
+    return ClusterHarness(
+        runtime=runtime,
+        injector=FaultInjector(runtime),
+        checker=SafetyChecker(runtime, non_crash_faulty=non_crash_faulty))
+
+
+@pytest.fixture(params=list(ProtocolName), ids=[p.value for p in ProtocolName])
+def protocol_harness(request):
+    """One :class:`ClusterHarness` per protocol (parametrized)."""
+    return make_harness(request.param)
 
 
 @pytest.fixture

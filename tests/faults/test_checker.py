@@ -94,6 +94,31 @@ class TestAnarchyAccounting:
         with pytest.raises(AssertionError):
             checker.assert_safe()
 
+    def test_periodic_observation_times_pinned(self):
+        """Observations land exactly at now, now+p, ..., <= until."""
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime)
+        runtime.sim.run(until=150.0)
+        checker.observe_periodically(period_ms=100.0, until_ms=500.0)
+        runtime.sim.run(until=1_000.0)
+        times = [t for t, _ in checker._observations]
+        assert times == [150.0, 250.0, 350.0, 450.0]
+
+    def test_periodic_observation_is_one_event_at_a_time(self):
+        """Arming a long horizon must not pre-enqueue every observation:
+        the next tick is scheduled only when the current one fires."""
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime)
+        before = runtime.sim.pending
+        checker.observe_periodically(period_ms=10.0, until_ms=1_000_000.0)
+        assert runtime.sim.pending == before + 1
+
+    def test_periodic_observation_rejects_bad_period(self):
+        runtime = make_cluster()
+        checker = SafetyChecker(runtime)
+        with pytest.raises(ValueError):
+            checker.observe_periodically(period_ms=0.0, until_ms=100.0)
+
     def test_divergence_tolerated_in_anarchy(self):
         """Definition 3: safety is only promised outside anarchy."""
         runtime = make_cluster()

@@ -28,6 +28,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--protocol", "raft"])
 
+    def test_scenarios_defaults(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.protocol == "all"
+        assert args.scenario == []
+        assert not args.list
+
 
 class TestCommands:
     def test_reliability_command(self, capsys):
@@ -77,6 +83,31 @@ class TestCommands:
         out = capsys.readouterr().out
         for protocol in ("xpaxos", "paxos", "pbft", "zyzzyva", "zab"):
             assert protocol in out
+
+    def test_scenarios_list(self, capsys):
+        code = main(["scenarios", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out
+        assert "anarchy-byzantine-plus-crash" in out
+
+    def test_scenarios_single_cell(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "matrix.json"
+        code = main(["scenarios", "--protocol", "xpaxos",
+                     "--scenario", "fault-free",
+                     "--json", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out and "ok" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["cells"][0]["status"] == "pass"
+
+    def test_scenarios_unknown_name_rejected(self, capsys):
+        code = main(["scenarios", "--scenario", "no-such"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
 
     def test_faults_command_small(self, capsys):
         code = main(["faults", "--clients", "8", "--duration", "40"])

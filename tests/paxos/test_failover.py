@@ -2,48 +2,51 @@
 
 import pytest
 
-from repro.common.config import ProtocolName, WorkloadConfig
-from repro.faults.checker import SafetyChecker
-from repro.faults.injector import FaultInjector, FaultSchedule
-from repro.workloads.clients import ClosedLoopDriver
-from tests.conftest import make_cluster
+from repro.common.config import ProtocolName
+from repro.faults.injector import FaultSchedule
+from tests.conftest import make_cluster, make_harness
 
 
 def run_with_crash(crash_at, downtime, duration=8_000.0, victim=0):
-    runtime = make_cluster(ProtocolName.PAXOS, num_clients=3)
-    driver = ClosedLoopDriver(
-        runtime, WorkloadConfig(num_clients=3, request_size=64,
-                                duration_ms=duration, warmup_ms=100.0))
-    FaultInjector(runtime).arm(
-        FaultSchedule().crash_for(crash_at, victim, downtime))
-    checker = SafetyChecker(runtime)
-    driver.run()
-    return runtime, driver, checker
+    harness = make_harness(ProtocolName.PAXOS)
+    harness.arm(FaultSchedule().crash_for(crash_at, victim, downtime))
+    driver = harness.drive(duration_ms=duration)
+    return harness, driver
 
 
 class TestLeaderFailover:
     def test_progress_resumes_after_leader_crash(self):
-        runtime, driver, checker = run_with_crash(1_000.0, 2_000.0)
-        checker.assert_safe()
+        harness, driver = run_with_crash(1_000.0, 2_000.0)
+        harness.checker.assert_safe()
         assert driver.throughput.total > 500
         # A new ballot was established with a different leader.
-        live_views = {r.view for r in runtime.replicas if not r.crashed}
+        live_views = {r.view for r in harness.replicas if not r.crashed}
         assert max(live_views) >= 1
 
+    def test_commits_continue_after_failover_settles(self):
+        """The election must terminate: commits flow to the end of the
+        run, not just before the crash (the livelock regression)."""
+        harness, driver = run_with_crash(1_000.0, 2_000.0)
+        last_commit = max(c.completions[-1][1]
+                          for c in harness.runtime.clients
+                          if c.completions)
+        assert last_commit > 7_000.0, \
+            f"commits stopped at t={last_commit:.0f} ms"
+
     def test_new_leader_is_ballot_mod_n(self):
-        runtime, driver, checker = run_with_crash(1_000.0, 5_000.0,
-                                                  duration=6_000.0)
-        top_view = max(r.view for r in runtime.replicas)
-        assert top_view % runtime.config.n != 0 or top_view == 0
+        harness, driver = run_with_crash(1_000.0, 5_000.0,
+                                         duration=6_000.0)
+        top_view = max(r.view for r in harness.replicas)
+        assert top_view % harness.runtime.config.n != 0 or top_view == 0
 
     def test_committed_state_survives_failover(self):
         """Entries decided under the old leader must survive into the new
         ballot (phase-1 merge)."""
-        runtime, driver, checker = run_with_crash(1_500.0, 4_000.0)
-        checker.assert_safe()
-        assert checker.violations() == []
+        harness, driver = run_with_crash(1_500.0, 4_000.0)
+        harness.checker.assert_safe()
+        assert harness.checker.violations() == []
         # Clients committed both before and after the crash.
-        for client in runtime.clients:
+        for client in harness.runtime.clients:
             timestamps = [rid[1] for _, _, rid in client.completions]
             assert timestamps == list(range(1, len(timestamps) + 1))
 
@@ -51,19 +54,15 @@ class TestLeaderFailover:
         """Crashing a non-leader acceptor: the common case blocks (the
         leader needs that acceptor), so failover to a ballot with live
         acceptors must occur."""
-        runtime, driver, checker = run_with_crash(1_000.0, 2_000.0,
-                                                  victim=1)
-        checker.assert_safe()
+        harness, driver = run_with_crash(1_000.0, 2_000.0, victim=1)
+        harness.checker.assert_safe()
         assert driver.throughput.total > 300
 
     def test_no_elections_in_fault_free_run(self):
-        runtime = make_cluster(ProtocolName.PAXOS, num_clients=3)
-        driver = ClosedLoopDriver(
-            runtime, WorkloadConfig(num_clients=3, request_size=64,
-                                    duration_ms=3_000.0, warmup_ms=100.0))
-        driver.run()
-        assert all(r.elections_started == 0 for r in runtime.replicas)
-        assert all(r.view == 0 for r in runtime.replicas)
+        harness = make_harness(ProtocolName.PAXOS)
+        harness.drive(duration_ms=3_000.0)
+        assert all(r.elections_started == 0 for r in harness.replicas)
+        assert all(r.view == 0 for r in harness.replicas)
 
     def test_stale_ballot_messages_ignored(self):
         from repro.protocols.paxos.replica import NewBallot

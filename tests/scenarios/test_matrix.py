@@ -1,0 +1,93 @@
+"""The scenario conformance matrix, parametrized cell by cell.
+
+This package is the repo's standing correctness net: every protocol runs
+every in-scope scenario of the built-in library and must satisfy its
+safety/liveness invariants.  A perf or refactor PR that breaks fault
+handling fails here with the exact ``(protocol, scenario)`` cell named.
+"""
+
+import pytest
+
+from repro.common.config import ProtocolName
+from repro.harness.matrix import (
+    EXPECTED_VIOLATION,
+    MatrixRunner,
+    PASS,
+    SKIPPED,
+)
+from repro.scenarios import builtin_scenarios, get_scenario
+
+SCENARIOS = builtin_scenarios()
+
+
+@pytest.mark.parametrize("protocol", list(ProtocolName),
+                         ids=[p.value for p in ProtocolName])
+@pytest.mark.parametrize("scenario", SCENARIOS,
+                         ids=[s.name for s in SCENARIOS])
+class TestConformanceMatrix:
+    def test_cell(self, scenario, protocol):
+        cell = MatrixRunner(seed=0).run_cell(protocol, scenario)
+        if not scenario.applies_to(protocol):
+            assert cell.status == SKIPPED
+            return
+        if scenario.expect_anarchy:
+            # The cell documents the boundary: anarchy must actually be
+            # reached, and safety is then exempt by Definition 3.
+            assert cell.status == EXPECTED_VIOLATION, cell.detail
+            assert cell.anarchy_observed
+            return
+        assert cell.status == PASS, cell.detail
+        assert cell.committed >= scenario.min_committed
+        assert cell.safety_violations == 0
+        assert not cell.anarchy_observed
+
+
+class TestCellGrading:
+    def test_out_of_scope_cell_is_skipped(self):
+        cell = MatrixRunner().run_cell(ProtocolName.PBFT,
+                                       get_scenario("crash-primary"))
+        assert cell.status == SKIPPED and cell.ok
+
+    def test_detection_expectation_enforced(self):
+        scenario = get_scenario("byzantine-primary-data-loss")
+        cell = MatrixRunner(seed=0).run_cell(ProtocolName.XPAXOS, scenario)
+        assert cell.status == PASS and cell.detection_ok
+
+    def test_same_seed_is_byte_identical(self):
+        scenario = get_scenario("crash-follower")
+        runs = []
+        for _ in range(2):
+            runner = MatrixRunner(seed=5)
+            result = runner.run_matrix(scenarios=[scenario],
+                                       protocols=[ProtocolName.XPAXOS])
+            runs.append(result.to_json())
+        assert runs[0] == runs[1]
+
+    def test_invariants_hold_across_seeds(self):
+        scenario = get_scenario("fault-free")
+        cells = [MatrixRunner(seed=seed).run_cell(ProtocolName.XPAXOS,
+                                                  scenario)
+                 for seed in (0, 1)]
+        assert all(c.status == PASS for c in cells)
+        assert all(c.seed == seed for c, seed in zip(cells, (0, 1)))
+
+    def test_grid_formats_every_cell(self):
+        runner = MatrixRunner(seed=0)
+        result = runner.run_matrix(
+            scenarios=[get_scenario("fault-free")],
+            protocols=list(ProtocolName))
+        grid = result.format_grid()
+        for protocol in ProtocolName:
+            assert protocol.value in grid
+        assert "fault-free" in grid
+        assert "5 pass" in grid
+
+    def test_matrix_result_lookup_and_failures(self):
+        result = MatrixRunner(seed=0).run_matrix(
+            scenarios=[get_scenario("fault-free")],
+            protocols=[ProtocolName.PAXOS])
+        cell = result.cell(ProtocolName.PAXOS, "fault-free")
+        assert cell.status == PASS
+        assert result.failures == []
+        with pytest.raises(KeyError):
+            result.cell(ProtocolName.ZAB, "fault-free")

@@ -305,3 +305,36 @@ class TestDeterminism:
             return log
 
         assert trace() == trace()
+
+
+class TestCallEvery:
+    def test_ticks_land_on_exact_multiples(self):
+        sim = Simulator()
+        times = []
+        sim.run(until=150.0)
+        sim.call_every(100.0, lambda: times.append(sim.now), 500.0)
+        sim.run(until=1_000.0)
+        assert times == [150.0, 250.0, 350.0, 450.0]
+
+    def test_one_live_event_at_a_time(self):
+        sim = Simulator()
+        sim.call_every(10.0, lambda: None, 10_000_000.0)
+        assert sim.pending == 1
+
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        times = []
+        sim.call_every(50.0, lambda: times.append(sim.now), 100.0)
+        sim.run()
+        assert times == [0.0, 50.0, 100.0]
+
+    def test_past_horizon_schedules_nothing(self):
+        sim = Simulator()
+        sim.run(until=500.0)
+        sim.call_every(10.0, lambda: None, 100.0)
+        assert sim.pending == 0
+
+    def test_rejects_nonpositive_period(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.call_every(0.0, lambda: None, 100.0)

@@ -2,32 +2,23 @@
 
 import pytest
 
-from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
+from repro.common.config import ProtocolName
 from repro.faults.adversary import (
     DataLossAdversary,
     EquivocatingAdversary,
     SilentAdversary,
 )
-from repro.faults.injector import FaultInjector, FaultSchedule
-from repro.protocols.registry import build_cluster
-from repro.workloads.clients import ClosedLoopDriver
+from repro.faults.injector import FaultSchedule
+from tests.conftest import make_harness
 
 
-def fd_cluster(seed=1, use_fd=True):
-    config = ClusterConfig(
-        t=1, protocol=ProtocolName.XPAXOS, delta_ms=50.0,
-        request_retransmit_ms=200.0, view_change_timeout_ms=400.0,
-        batch_timeout_ms=2.0, use_fault_detection=use_fd)
-    return build_cluster(config, num_clients=3, seed=seed)
+def fd_harness(seed=1, use_fd=True):
+    return make_harness(ProtocolName.XPAXOS, seed=seed,
+                        use_fault_detection=use_fd)
 
 
-def drive(runtime, duration_ms=8_000.0):
-    driver = ClosedLoopDriver(
-        runtime, WorkloadConfig(num_clients=len(runtime.clients),
-                                request_size=64, duration_ms=duration_ms,
-                                warmup_ms=100.0))
-    driver.run()
-    return driver
+def drive(harness, duration_ms=8_000.0):
+    return harness.drive(duration_ms=duration_ms)
 
 
 class TestStrongCompleteness:
@@ -35,37 +26,33 @@ class TestStrongCompleteness:
     detected outside anarchy."""
 
     def test_data_loss_primary_detected(self):
-        runtime = fd_cluster()
-        runtime.replica(0).byzantine = DataLossAdversary(keep_upto=1)
-        FaultInjector(runtime).arm(
-            FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
-        drive(runtime)
+        harness = fd_harness()
+        harness.replica(0).byzantine = DataLossAdversary(keep_upto=1)
+        harness.arm(FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
+        drive(harness)
         # Every replica that was up during the view change convicts the
         # primary (r1 was crashed while the accusations circulated).
         for replica_id in (0, 2):
-            assert 0 in runtime.replica(replica_id).detected_faulty
+            assert 0 in harness.replica(replica_id).detected_faulty
 
     def test_equivocating_primary_detected(self):
-        runtime = fd_cluster(seed=3)
-        runtime.replica(0).byzantine = EquivocatingAdversary(
+        harness = fd_harness(seed=3)
+        harness.replica(0).byzantine = EquivocatingAdversary(
             report_only={1})
-        FaultInjector(runtime).arm(
-            FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
-        drive(runtime)
-        assert any(0 in r.detected_faulty for r in runtime.replicas)
+        harness.arm(FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
+        drive(harness)
+        assert any(0 in r.detected_faulty for r in harness.replicas)
 
     def test_detection_propagates_beyond_the_detecting_replica(self):
         """Lemma 15: a fault detected by one correct replica is eventually
         detected by every correct replica that hears the accusation."""
-        runtime = fd_cluster(seed=4)
-        runtime.replica(0).byzantine = DataLossAdversary(keep_upto=0)
+        harness = fd_harness(seed=4)
+        harness.replica(0).byzantine = DataLossAdversary(keep_upto=0)
         # Trigger the view change without crashing anyone, so every
         # replica is up to receive the broadcast accusations.
-        runtime.sim.call_at(
-            2_000.0, lambda: runtime.replica(1).suspect_view(
-                runtime.replica(1).view))
-        drive(runtime)
-        detections = [0 in r.detected_faulty for r in runtime.replicas]
+        harness.arm(FaultSchedule().suspect(2_000.0, 1))
+        drive(harness)
+        detections = [0 in r.detected_faulty for r in harness.replicas]
         assert all(detections), detections
 
 
@@ -73,62 +60,56 @@ class TestStrongAccuracy:
     """Theorem 6: a benign replica is never detected as faulty."""
 
     def test_benign_view_change_detects_nothing(self):
-        runtime = fd_cluster(seed=5)
-        runtime.sim.call_at(
-            2_000.0,
-            lambda: runtime.replica(0).suspect_view(
-                runtime.replica(0).view))
-        drive(runtime, duration_ms=6_000.0)
-        assert all(r.view >= 1 for r in runtime.replicas)
-        assert all(not r.detected_faulty for r in runtime.replicas)
+        harness = fd_harness(seed=5)
+        harness.arm(FaultSchedule().suspect(2_000.0, 0))
+        drive(harness, duration_ms=6_000.0)
+        assert all(r.view >= 1 for r in harness.replicas)
+        assert all(not r.detected_faulty for r in harness.replicas)
 
     def test_crash_recovery_is_not_a_byzantine_fault(self):
         """A replica that crashes and recovers with intact logs must not
         be accused -- crash faults are benign."""
-        runtime = fd_cluster(seed=6)
-        FaultInjector(runtime).arm(
-            FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
-        drive(runtime)
-        assert all(not r.detected_faulty for r in runtime.replicas)
+        harness = fd_harness(seed=6)
+        harness.arm(FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
+        drive(harness)
+        assert all(not r.detected_faulty for r in harness.replicas)
 
     def test_repeated_view_changes_stay_clean(self):
-        runtime = fd_cluster(seed=7)
+        harness = fd_harness(seed=7)
         for at in (1_500.0, 3_000.0, 4_500.0):
-            runtime.sim.call_at(
+            harness.sim.call_at(
                 at,
-                lambda: runtime.replica(
-                    runtime.replica(0).groups.primary(
-                        runtime.replica(0).view)).suspect_view(
-                            runtime.replica(0).view))
-        drive(runtime, duration_ms=7_000.0)
-        assert all(not r.detected_faulty for r in runtime.replicas)
+                lambda: harness.replica(
+                    harness.replica(0).groups.primary(
+                        harness.replica(0).view)).suspect_view(
+                            harness.replica(0).view))
+        drive(harness, duration_ms=7_000.0)
+        assert all(not r.detected_faulty for r in harness.replicas)
 
     def test_silent_replica_not_convicted(self):
         """Withholding the view-change message looks like a crash; FD must
         not convict (omission of the *message* is benign-compatible)."""
-        runtime = fd_cluster(seed=8)
-        runtime.replica(2).byzantine = SilentAdversary()
-        FaultInjector(runtime).arm(
-            FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
-        drive(runtime)
+        harness = fd_harness(seed=8)
+        harness.replica(2).byzantine = SilentAdversary()
+        harness.arm(FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
+        drive(harness)
         # r2 (passive in view 0, no obligations) is never convicted.
-        assert all(2 not in r.detected_faulty for r in runtime.replicas)
+        assert all(2 not in r.detected_faulty for r in harness.replicas)
 
 
 class TestFdDisabled:
     def test_no_detection_without_fd(self):
         """Without FD, the same data-loss fault passes unnoticed (the
         motivation for the mechanism)."""
-        runtime = fd_cluster(use_fd=False, seed=9)
-        runtime.replica(0).byzantine = DataLossAdversary(keep_upto=1)
-        FaultInjector(runtime).arm(
-            FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
-        drive(runtime)
-        assert all(not r.detected_faulty for r in runtime.replicas)
+        harness = fd_harness(use_fd=False, seed=9)
+        harness.replica(0).byzantine = DataLossAdversary(keep_upto=1)
+        harness.arm(FaultSchedule().crash_for(2_000.0, 1, 1_000.0))
+        drive(harness)
+        assert all(not r.detected_faulty for r in harness.replicas)
 
     def test_progress_unaffected_by_fd(self):
-        with_fd = fd_cluster(seed=10, use_fd=True)
-        without_fd = fd_cluster(seed=10, use_fd=False)
+        with_fd = fd_harness(seed=10, use_fd=True)
+        without_fd = fd_harness(seed=10, use_fd=False)
         d1 = drive(with_fd, duration_ms=3_000.0)
         d2 = drive(without_fd, duration_ms=3_000.0)
         assert d1.throughput.total > 0.8 * d2.throughput.total
@@ -136,16 +117,14 @@ class TestFdDisabled:
 
 class TestVcConfirmPhase:
     def test_final_proof_recorded_after_fd_view_change(self):
-        runtime = fd_cluster(seed=11)
-        runtime.sim.call_at(
-            2_000.0,
-            lambda: runtime.replica(0).suspect_view(0))
-        drive(runtime, duration_ms=6_000.0)
-        new_view = runtime.replica(0).view
-        actives = runtime.replica(0).groups.group(new_view)
+        harness = fd_harness(seed=11)
+        harness.arm(FaultSchedule().suspect(2_000.0, 0))
+        drive(harness, duration_ms=6_000.0)
+        new_view = harness.replica(0).view
+        actives = harness.replica(0).groups.group(new_view)
         for rid in actives:
-            replica = runtime.replica(rid)
+            replica = harness.replica(rid)
             assert new_view in replica.final_proofs
             # t+1 confirm signatures form the proof.
             assert len(replica.final_proofs[new_view]) == \
-                runtime.config.t + 1
+                harness.runtime.config.t + 1
