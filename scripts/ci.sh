@@ -40,8 +40,11 @@ print("perf smoke ok: " + ", ".join(
 EOF
 
 echo "== scenario smoke: conformance matrix slice =="
+# crash-primary is the failover cell: since the baseline view-change work
+# it is in scope for every protocol (PBFT, Zyzzyva and Zab included).
 python -m repro scenarios --protocol all \
     --scenario fault-free \
+    --scenario crash-primary \
     --scenario crash-follower \
     --scenario client-primary-partition \
     --scenario byzantine-primary-data-loss \
@@ -57,6 +60,17 @@ bad = [c for c in cells
        if c["status"] not in ("pass", "expected-violation", "skipped")]
 assert not bad, bad
 in_scope = [c for c in cells if c["status"] != "skipped"]
-assert len(in_scope) >= 10, f"only {len(in_scope)} in-scope cells"
+assert len(in_scope) >= 16, f"only {len(in_scope)} in-scope cells"
+failover = [c for c in cells if c["scenario"] == "crash-primary"]
+assert len(failover) == 5 and all(c["status"] == "pass" for c in failover), \
+    failover
 print(f"scenario smoke ok: {len(in_scope)} cells pass")
 EOF
+
+# The smoke artifact is a committed golden: any cell-grade or commit-count
+# drift against the checked-in SCENARIO_smoke.json fails the build loudly
+# (refresh the golden deliberately when behaviour changes on purpose).
+if ! git diff --exit-code -- SCENARIO_smoke.json; then
+    echo "SCENARIO_smoke.json drifted from the committed golden" >&2
+    exit 1
+fi

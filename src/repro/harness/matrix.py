@@ -70,6 +70,7 @@ class CellResult:
     safety_violations: int = 0
     liveness_violations: int = 0
     detection_ok: bool = True
+    convicted: List[int] = field(default_factory=list)
     seed: int = 0
     detail: str = ""
 
@@ -148,11 +149,16 @@ class MatrixRunner:
     # ------------------------------------------------------------------
     def base_config(self, protocol: ProtocolName,
                     scenario: Scenario) -> ClusterConfig:
-        """The cell's cluster configuration."""
+        """The cell's cluster configuration.
+
+        A scenario may override ``t`` (e.g. the t=2 cells) through
+        ``config_overrides``; the site layout follows the effective ``t``.
+        """
         params = dict(CELL_TIMEOUTS)
         params.update(scenario.config_overrides)
-        params.setdefault("sites", sites_for(protocol, self.t))
-        return ClusterConfig(t=self.t, protocol=protocol, **params)
+        t = params.pop("t", self.t)
+        params.setdefault("sites", sites_for(protocol, t))
+        return ClusterConfig(t=t, protocol=protocol, **params)
 
     def run_cell(self, protocol: ProtocolName,
                  scenario: Scenario) -> CellResult:
@@ -209,13 +215,18 @@ class MatrixRunner:
                 accused <= getattr(replica, "detected_faulty", set())
                 for replica in runtime.replicas
                 if replica.replica_id not in accused)
+        convicted = sorted({
+            accused
+            for replica in runtime.replicas
+            if replica.replica_id not in scenario.adversaries
+            for accused in getattr(replica, "detected_faulty", ())})
         result = CellResult(
             protocol=protocol.value, scenario=scenario.name, status=PASS,
             committed=committed,
             anarchy_observed=checker.anarchy_observed,
             safety_violations=len(violations),
             liveness_violations=len(liveness_violations),
-            detection_ok=detection_ok, seed=self.seed)
+            detection_ok=detection_ok, convicted=convicted, seed=self.seed)
 
         if scenario.expect_anarchy:
             # Safety is only promised outside anarchy (Definition 3): the
@@ -242,6 +253,11 @@ class MatrixRunner:
                             f"< floor {scenario.min_committed}")
         if not detection_ok:
             problems.append("adversary never convicted")
+        if scenario.convicted is not None \
+                and set(convicted) != set(scenario.convicted):
+            problems.append(
+                f"convicted {convicted} != expected "
+                f"{sorted(scenario.convicted)}")
         if problems:
             result.status = FAIL
             result.detail = "; ".join(problems)

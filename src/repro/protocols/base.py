@@ -10,6 +10,34 @@ paper's Figure 6.
 
 The baselines authenticate with MACs only (no digital signatures), which is
 what makes their CPU profile differ from XPaxos in Figure 8.
+
+Leader change
+-------------
+
+Every baseline survives leader faults through the same three-part layer
+(the pattern Paxos introduced, generalised here):
+
+* **Suspicion**: a non-leader that receives a client's retransmitted
+  request forwards it to the leader it believes in and arms an election
+  timer; executing a new batch disarms it.  The timer expiring means the
+  leader failed to commit a retried request in time.
+* **Campaign**: the suspecting replica broadcasts a protocol-specific
+  VIEW-CHANGE message for ``target = max(view, last target) + 1`` carrying
+  its recovery state.  Replicas that see a campaign for a fresher view
+  join it (broadcasting their own state).  The leader of the target view
+  (``target mod n``) installs the view once it holds a
+  :meth:`view_change_quorum` of VIEW-CHANGE messages, merges the carried
+  state (:meth:`install_view`), and announces the new view; followers
+  adopt it through :meth:`enter_view`.
+* **Catch-up**: a recovering replica multicasts a :class:`SyncRequest`;
+  peers answer with their committed suffix and, when the requester is too
+  far behind to replay the log, an application snapshot
+  (:class:`SyncReply`).  The same messages serve replicas that learn from
+  a NEW-VIEW that their execution horizon is stale.
+
+The protocol-specific pieces are the VIEW-CHANGE payload (what state a
+replica reports) and the install step (how the new leader merges reported
+state and resumes ordering); see the pbft/zyzzyva/zab modules.
 """
 
 from __future__ import annotations
@@ -50,6 +78,26 @@ class GenericReply:
     size_bytes: int = 0
 
 
+@dataclass(frozen=True)
+class SyncRequest:
+    """Recovering/lagging replica -> peers: send me what I missed."""
+
+    sender: int
+    executed_upto: int
+
+
+@dataclass(frozen=True)
+class SyncReply:
+    """Peer -> recovering replica: committed suffix plus, when the
+    requester cannot replay the log contiguously, a state snapshot."""
+
+    sender: int
+    view: int
+    executed_upto: int
+    snapshot: Any
+    entries: Tuple[Tuple[int, Batch], ...]
+
+
 class BaselineReplica(ReplicaBase):
     """Skeleton replica: batching at the leader + ordered execution.
 
@@ -73,11 +121,21 @@ class BaselineReplica(ReplicaBase):
         self._seen_requests: set = set()
         self._last_reply: Dict[int, GenericReply] = {}
         self.on_commit_batch: Optional[Callable[[int, Batch], None]] = None
+        # Leader-change state (see the module docstring).
+        self._election_timer = Timer(self, self._on_election_timeout,
+                                     "election")
+        self._vc_gather_timer = Timer(self, self._on_vc_gather_timeout,
+                                      "vc_gather")
+        self._vc_msgs: Dict[int, Dict[int, Any]] = {}
+        self._target_view = 0  # highest view this replica campaigned for
+        self._gathering: Optional[int] = None
+        self.elections_started = 0
+        self.view_changes_completed = 0
 
     # -- role -----------------------------------------------------------
     @property
     def leader_id(self) -> int:
-        """The current leader (static in the fault-free baselines)."""
+        """The leader of the current view (``view mod n``)."""
         assert self.config.n is not None
         return self.view % self.config.n
 
@@ -86,7 +144,40 @@ class BaselineReplica(ReplicaBase):
         """Is this replica the leader of the current view?"""
         return self.replica_id == self.leader_id
 
+    # -- message dispatch -------------------------------------------------
+    def on_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, ClientRequestMsg):
+            self.handle_client_request(payload.request)
+        elif isinstance(payload, SyncRequest):
+            self._on_sync_request(payload)
+        elif isinstance(payload, SyncReply):
+            self._on_sync_reply(payload)
+        else:
+            self.on_protocol_message(src, payload)
+
+    def on_protocol_message(self, src: str, payload: Any) -> None:
+        """Handle one protocol-specific message. Subclasses implement."""
+        raise NotImplementedError
+
     # -- batching at the leader ------------------------------------------
+    def handle_client_request(self, request: Request) -> None:
+        """Entry point for client requests: the leader batches; a
+        non-leader answers from its reply cache, forwards to the leader,
+        and arms the election timer (the leader may be down)."""
+        if self.is_leader:
+            self.receive_request(request)
+            return
+        cached = self._last_reply.get(request.client)
+        if cached is not None and cached.timestamp >= request.timestamp:
+            if cached.timestamp == request.timestamp:
+                self.send(f"c{request.client}", cached,
+                          size_bytes=cached.size_bytes)
+            return
+        self.send(f"r{self.leader_id}", ClientRequestMsg(request),
+                  size_bytes=request.size_bytes)
+        if self.supports_view_change() and not self._election_timer.armed:
+            self._election_timer.start(self.config.request_retransmit_ms)
+
     def receive_request(self, request: Request) -> None:
         """Enqueue a client request for batching (leader only)."""
         if not self.is_leader:
@@ -109,7 +200,8 @@ class BaselineReplica(ReplicaBase):
     def flush_batch(self) -> None:
         """Assign the next sequence number to a batch and propose it."""
         self._batch_timer.stop()
-        if not self._pending_requests or not self.is_leader:
+        if not self._pending_requests or not self.is_leader \
+                or self.campaigning:
             return
         requests = tuple(self._pending_requests[: self.config.batch_size])
         del self._pending_requests[: len(requests)]
@@ -137,6 +229,9 @@ class BaselineReplica(ReplicaBase):
             entry = self.commit_log.get(self.ex + 1)
             if entry is None:
                 return
+            # Execution progress means the current leader is doing its
+            # job: call off any pending election.
+            self._election_timer.stop()
             seqno = self.ex + 1
             results = []
             for request in entry.batch:
@@ -173,6 +268,198 @@ class BaselineReplica(ReplicaBase):
         """Digest over the signed request bodies of a batch, charging CPU."""
         self.cpu.charge_digest(batch.size_bytes)
         return digest_of(tuple(r.body() for r in batch))
+
+    # -- leader change ----------------------------------------------------
+    def supports_view_change(self) -> bool:
+        """Does this protocol implement a leader-change path?"""
+        return False
+
+    def view_change_quorum(self) -> int:
+        """VIEW-CHANGE messages needed to install a view (default:
+        majority; BFT protocols override with ``2t + 1``)."""
+        return self.config.quorum
+
+    def new_leader_of(self, view: int) -> int:
+        """Leader of ``view`` (round robin over all replicas)."""
+        assert self.config.n is not None
+        return view % self.config.n
+
+    def make_view_change(self, target: int) -> Any:
+        """Build this protocol's VIEW-CHANGE message for ``target``,
+        carrying whatever state the new leader's merge needs."""
+        raise NotImplementedError
+
+    def view_change_size(self, message: Any) -> int:
+        """Wire size of a VIEW-CHANGE message.  Subclasses account for
+        the batches they embed; the default covers headers only."""
+        return 256
+
+    def install_view(self, target: int, msgs: Dict[int, Any]) -> None:
+        """New-leader side: merge the quorum's VIEW-CHANGE state, announce
+        the view, and resume ordering.  Runs with ``self.view == target``
+        and protocol in-flight state already cleared."""
+        raise NotImplementedError
+
+    def on_enter_view(self, view: int) -> None:
+        """Hook: drop per-view in-flight ordering state. Default no-op."""
+
+    @property
+    def campaigning(self) -> bool:
+        """Between joining a campaign and its view installing.
+
+        A frozen replica must stop proposing and stop accepting the old
+        view's ordering messages: anything it speculatively adopted after
+        reporting its state would be invisible to the new leader's merge
+        and could be reassigned -- a total-order violation.
+        """
+        return self._target_view > self.view
+
+    def _on_election_timeout(self) -> None:
+        self.suspect_view(self.view)
+
+    def suspect_view(self, view: int) -> None:
+        """Campaign to replace the leader of ``view`` (also the hook the
+        fault injector's ``suspect`` event calls)."""
+        if not self.supports_view_change() or view < self.view:
+            return
+        self._campaign(max(self.view, self._target_view) + 1)
+
+    def _campaign(self, target: int) -> None:
+        """Broadcast our VIEW-CHANGE for ``target`` and join its tally."""
+        self._target_view = target
+        self.elections_started += 1
+        message = self.make_view_change(target)
+        size = self.view_change_size(message)
+        peers = self.other_replica_names()
+        self.cpu.charge_macs(len(peers), size)
+        self.multicast(peers, message, size_bytes=size)
+        self._note_view_change(self.replica_id, target, message)
+        # If this campaign stalls (its leader may be down too), escalate
+        # to the next view on expiry.
+        self._election_timer.start(self.config.view_change_timeout_ms)
+
+    def on_view_change_msg(self, sender: int, target: int,
+                           message: Any) -> None:
+        """Called by subclasses for each received VIEW-CHANGE message."""
+        if target <= self.view:
+            return
+        if self._target_view < target:
+            # A fresher campaign is under way: join it with our state.
+            self._campaign(target)
+        self._note_view_change(sender, target, message)
+
+    def _note_view_change(self, sender: int, target: int,
+                          message: Any) -> None:
+        msgs = self._vc_msgs.setdefault(target, {})
+        msgs[sender] = message
+        if target <= self.view \
+                or self.new_leader_of(target) != self.replica_id:
+            return
+        assert self.config.n is not None
+        if len(msgs) >= self.config.n:
+            # Everyone reported: install immediately.
+            self._vc_gather_timer.stop()
+            self._gathering = None
+            self._become_leader(target, dict(msgs))
+        elif len(msgs) >= self.view_change_quorum() \
+                and self._gathering != target:
+            # Quorum reached: give stragglers -- above all the deposed
+            # leader, whose log may hold slots it executed speculatively
+            # that nobody else reported -- one Delta to contribute their
+            # state before installing without them.
+            self._gathering = target
+            self._vc_gather_timer.start(self.config.delta_ms)
+
+    def _on_vc_gather_timeout(self) -> None:
+        target, self._gathering = self._gathering, None
+        if target is None or target <= self.view:
+            return
+        msgs = self._vc_msgs.get(target, {})
+        if len(msgs) >= self.view_change_quorum():
+            self._become_leader(target, dict(msgs))
+
+    def _become_leader(self, target: int, msgs: Dict[int, Any]) -> None:
+        self.view = target
+        self._target_view = max(self._target_view, target)
+        self.view_changes_completed += 1
+        self._election_timer.stop()
+        self._batch_timer.stop()
+        self._vc_msgs = {v: m for v, m in self._vc_msgs.items()
+                         if v > target}
+        self.on_enter_view(target)
+        self.install_view(target, msgs)
+        if self._pending_requests:
+            self.sim.call_soon(self.flush_batch)
+
+    def enter_view(self, view: int) -> None:
+        """Adopt a view whose leader already installed it."""
+        if view <= self.view:
+            return
+        self.view = view
+        self._target_view = max(self._target_view, view)
+        self.view_changes_completed += 1
+        self._election_timer.stop()
+        self._batch_timer.stop()
+        self._vc_msgs = {v: m for v, m in self._vc_msgs.items() if v > view}
+        # Requests batched while we briefly believed ourselves leader
+        # belong to the new leader now; un-mark them so retransmissions
+        # are not dropped as duplicates.
+        if self._pending_requests and not self.is_leader:
+            pending, self._pending_requests = self._pending_requests, []
+            for request in pending:
+                self._seen_requests.discard(request.rid)
+                self.send(f"r{self.leader_id}", ClientRequestMsg(request),
+                          size_bytes=request.size_bytes)
+        self.on_enter_view(view)
+
+    # -- recovery and catch-up --------------------------------------------
+    def recover(self) -> None:
+        """Rejoin after a crash: ask the peers for the current view and
+        the committed suffix we missed."""
+        super().recover()
+        peers = self.other_replica_names()
+        self.cpu.charge_macs(len(peers), 16)
+        self.multicast(peers, SyncRequest(self.replica_id, self.ex),
+                       size_bytes=16)
+
+    def request_sync(self, peer: int) -> None:
+        """Ask one peer for the committed suffix above our horizon."""
+        self.cpu.charge_mac(16)
+        self.send(f"r{peer}", SyncRequest(self.replica_id, self.ex),
+                  size_bytes=16)
+
+    def _on_sync_request(self, m: SyncRequest) -> None:
+        entries = tuple((sn, entry.batch)
+                        for sn, entry in self.commit_log.items()
+                        if sn > m.executed_upto)
+        snapshot = self.app.snapshot() if self.ex > m.executed_upto else None
+        size = sum(batch.size_bytes for _, batch in entries) + 64
+        self.cpu.charge_mac(size)
+        self.send(f"r{m.sender}",
+                  SyncReply(self.replica_id, self.view, self.ex, snapshot,
+                            entries),
+                  size_bytes=size)
+
+    def _on_sync_reply(self, m: SyncReply) -> None:
+        self.cpu.charge_mac(64)
+        if m.view > self.view:
+            self.enter_view(m.view)
+        if m.executed_upto > self.ex and m.snapshot is not None:
+            held = {sn for sn, _ in m.entries}
+            replayable = all(sn in held or sn in self.commit_log
+                             for sn in range(self.ex + 1,
+                                             m.executed_upto + 1))
+            if not replayable:
+                # Too far behind to replay the log (the peers checkpointed
+                # past our horizon): state transfer.
+                self.app.restore(m.snapshot)
+                self.ex = m.executed_upto
+                self.sn = max(self.sn, self.ex)
+        for sn, batch in m.entries:
+            if sn > self.ex and sn not in self.commit_log:
+                self.commit_log.put(
+                    sn, CommitEntry(sn, self.view, batch, ()))
+        self.execute_ready()
 
 
 class QuorumClient(SmrClientBase):
@@ -234,6 +521,10 @@ class QuorumClient(SmrClientBase):
         if request is None or payload.timestamp != request.timestamp:
             return
         self.cpu.charge_mac(64)
+        if payload.view > self.view:
+            # A leader change happened: follow the replies to the new
+            # leader instead of waiting out a timeout per request.
+            self.view = payload.view
         self._replies[payload.replica] = payload
         matching = [r for r in self._replies.values()
                     if (r.seqno, r.result_digest) == (payload.seqno,
@@ -241,11 +532,15 @@ class QuorumClient(SmrClientBase):
         if len(matching) >= self.reply_quorum:
             full = next((r.result for r in matching
                          if r.result is not None), matching[0].result)
-            self._request = None
-            self._timer.stop()
-            self.record_completion(request.rid, self._sent_at)
-            if self.on_result is not None:
-                self.on_result(full)
+            self._complete(request, full)
+
+    def _complete(self, request: Request, result: Any) -> None:
+        """Commit the in-flight request and hand the result up."""
+        self._request = None
+        self._timer.stop()
+        self.record_completion(request.rid, self._sent_at)
+        if self.on_result is not None:
+            self.on_result(result)
 
     def _on_timeout(self) -> None:
         request = self._request

@@ -29,8 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica, ClientRequestMsg
-from repro.sim.process import Timer
+from repro.protocols.base import BaselineReplica
 from repro.smr.messages import Batch
 
 
@@ -95,14 +94,13 @@ class PaxosReplica(BaselineReplica):
         # Accepted-but-undecided state kept for failover re-proposal:
         # seqno -> (ballot, batch).
         self._accepted: Dict[int, Tuple[int, Batch]] = {}
-        # Election state.
-        self._election_timer = Timer(self, self._on_election_timeout,
-                                     "election")
+        # Election state (the election timer itself lives in the base).
         self._promises: Dict[int, Promise] = {}
         self._pending_ballot: Optional[int] = None
-        self.elections_started = 0
 
     # -- roles ------------------------------------------------------------
+    def supports_view_change(self) -> bool:
+        return True
     def common_case_acceptors(self) -> List[int]:
         """The ``t`` acceptors contacted in the common case: the lowest
         replica ids after the leader (the paper places them in the closest
@@ -118,10 +116,8 @@ class PaxosReplica(BaselineReplica):
         return [r for r in range(self.config.n) if r not in active]
 
     # -- message handling ---------------------------------------------------
-    def on_message(self, src: str, payload: Any) -> None:
-        if isinstance(payload, ClientRequestMsg):
-            self._on_client_request(payload)
-        elif isinstance(payload, Accept):
+    def on_protocol_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Accept):
             self._on_accept(src, payload)
         elif isinstance(payload, Accepted):
             self._on_accepted(payload)
@@ -131,22 +127,6 @@ class PaxosReplica(BaselineReplica):
             self._on_new_ballot(payload)
         elif isinstance(payload, Promise):
             self._on_promise(payload)
-
-    def _on_client_request(self, m: ClientRequestMsg) -> None:
-        if self.is_leader:
-            self.receive_request(m.request)
-            return
-        # A client retried against a non-leader: the leader may be down.
-        # Arm the election timer; cancel it if the request commits.
-        cached = self._last_reply.get(m.request.client)
-        if cached is not None and cached.timestamp >= m.request.timestamp:
-            if cached.timestamp == m.request.timestamp:
-                self.send(f"c{m.request.client}", cached)
-            return
-        self.send(f"r{self.leader_id}", m,
-                  size_bytes=m.request.size_bytes)
-        if not self._election_timer.armed:
-            self._election_timer.start(self.config.request_retransmit_ms)
 
     # -- phase 2 (common case) ---------------------------------------------
     def propose_batch(self, seqno: int, batch: Batch) -> None:
@@ -220,10 +200,23 @@ class PaxosReplica(BaselineReplica):
                     timestamp=request.timestamp, client=request.client,
                     result=result, result_digest=digest_of(result))
 
+    def on_enter_view(self, view: int) -> None:
+        # Adopting a ballot someone else established (e.g. via a recovery
+        # sync): drop in-flight proposals and any stale campaign of our
+        # own -- winning it later would roll the view back.
+        self._proposed.clear()
+        self._acks.clear()
+        if self._pending_ballot is not None and self._pending_ballot <= view:
+            self._pending_ballot = None
+            self._promises = {}
+
     # -- phase 1 (leader failover) -------------------------------------------
-    def _on_election_timeout(self) -> None:
-        """The leader did not commit a retried request in time: campaign
-        for the next ballot whose leader is this replica."""
+    def suspect_view(self, view: int) -> None:
+        """The leader did not commit a retried request in time (or the
+        fault injector scripted a suspicion): campaign for the next
+        ballot whose leader is this replica."""
+        if view < self.view:
+            return
         assert self.config.n is not None
         ballot = self.view + 1
         while ballot % self.config.n != self.replica_id:
@@ -282,6 +275,7 @@ class PaxosReplica(BaselineReplica):
         ballot = self._pending_ballot
         self._pending_ballot = None
         self.view = ballot
+        self.view_changes_completed += 1
         self._election_timer.stop()
         # Merge: per slot, the entry accepted at the highest ballot wins.
         merged: Dict[int, Tuple[int, Batch]] = {}

@@ -15,15 +15,26 @@ Common case:
 5. the client commits on t + 1 matching replies.
 
 Authentication is MAC-based, as in PBFT.
+
+View change: the active set of view ``v`` is the 2t + 1 replicas starting
+at the primary ``v mod n``, so changing views rotates both the primary and
+the common-case quorum.  A replica that suspects the primary broadcasts a
+``VIEW-CHANGE`` carrying its committed entries and its *prepared
+certificates* (slots with a PRE-PREPARE but not yet 2t + 1 commits); the
+new primary installs the view on a 2t + 1 quorum of these, adopts the
+merged committed prefix, re-proposes the prepared-but-uncommitted slots in
+the new view, and announces it with ``NEW-VIEW`` (which doubles as a
+catch-up vehicle for replicas entering the active set).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica, ClientRequestMsg
+from repro.protocols.base import BaselineReplica
+from repro.smr.log import CommitEntry
 from repro.smr.messages import Batch
 
 
@@ -47,34 +58,76 @@ class CommitMsg:
     sender: int
 
 
+@dataclass(frozen=True)
+class ViewChange:
+    """Suspecting replica -> all: recovery state for ``view``.
+
+    ``committed`` is the replica's commit-log suffix; ``prepared`` carries
+    its prepared certificates -- slots it holds a PRE-PREPARE for that have
+    not yet gathered 2t + 1 commits.
+    """
+
+    view: int
+    sender: int
+    executed_upto: int
+    committed: Tuple[Tuple[int, Batch], ...]
+    prepared: Tuple[Tuple[int, Digest, Batch], ...]
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New primary -> all: the view is installed; adopt the merged
+    committed prefix."""
+
+    view: int
+    sender: int
+    executed_upto: int
+    committed: Tuple[Tuple[int, Batch], ...]
+
+
 class PbftReplica(BaselineReplica):
     """One replica of the speculative PBFT deployment (n = 3t + 1)."""
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._batches: Dict[int, Batch] = {}
-        self._votes: Dict[int, Set[int]] = {}
+        # Votes are keyed by (seqno, digest): commits that outrun their
+        # PRE-PREPARE must not pool with votes for a different batch at
+        # the same slot.
+        self._votes: Dict[Tuple[int, Digest], Set[int]] = {}
         self._digests: Dict[int, Digest] = {}
 
     # -- roles ------------------------------------------------------------
-    def active_ids(self) -> List[int]:
-        """The 2t + 1 replicas involved in the common case."""
+    def active_ids(self, view: Optional[int] = None) -> List[int]:
+        """The 2t + 1 replicas involved in the common case of ``view``
+        (default: the current one): the primary and its 2t successors."""
         assert self.config.n is not None
-        return list(range(2 * self.config.t + 1))
+        v = self.view if view is None else view
+        leader = v % self.config.n
+        return [(leader + i) % self.config.n
+                for i in range(2 * self.config.t + 1)]
 
     @property
     def is_active(self) -> bool:
         """Is this replica in the common-case quorum?"""
         return self.replica_id in self.active_ids()
 
+    def supports_view_change(self) -> bool:
+        return True
+
+    def view_change_quorum(self) -> int:
+        return 2 * self.config.t + 1
+
     # -- message handling ---------------------------------------------------
-    def on_message(self, src: str, payload: Any) -> None:
-        if isinstance(payload, ClientRequestMsg):
-            self.receive_request(payload.request)
-        elif isinstance(payload, PrePrepare):
+    def on_protocol_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, PrePrepare):
             self._on_pre_prepare(src, payload)
         elif isinstance(payload, CommitMsg):
             self._on_commit(payload)
+        elif isinstance(payload, ViewChange):
+            self.on_view_change_msg(payload.sender, payload.view, payload)
+        elif isinstance(payload, NewView):
+            self._on_new_view(src, payload)
 
     def propose_batch(self, seqno: int, batch: Batch) -> None:
         digest = self.batch_digest(batch)
@@ -88,7 +141,12 @@ class PbftReplica(BaselineReplica):
         self._vote(seqno, digest)
 
     def _on_pre_prepare(self, src: str, m: PrePrepare) -> None:
-        if m.view != self.view or not self.is_active or self.is_leader:
+        if m.view > self.view and src == f"r{self.new_leader_of(m.view)}":
+            # A fresher view's primary is proposing: its view change
+            # completed (the NEW-VIEW may still be in flight).
+            self.enter_view(m.view)
+        if m.view != self.view or not self.is_active or self.is_leader \
+                or self.campaigning:
             return
         self.cpu.charge_mac(m.batch.size_bytes)
         self._batches[m.seqno] = m.batch
@@ -102,8 +160,9 @@ class PbftReplica(BaselineReplica):
         # sequential per-peer loop exactly.
         me = self.replica_id
         actives = self.active_ids()
-        before = [f"r{a}" for a in actives if a < me]
-        after = [f"r{a}" for a in actives if a > me]
+        position = actives.index(me)
+        before = [f"r{a}" for a in actives[:position]]
+        after = [f"r{a}" for a in actives[position + 1:]]
         self.cpu.charge_macs(len(before), 48)
         self.multicast(before, vote, size_bytes=48)
         self._record_vote(vote)
@@ -111,26 +170,119 @@ class PbftReplica(BaselineReplica):
         self.multicast(after, vote, size_bytes=48)
 
     def _on_commit(self, m: CommitMsg) -> None:
-        if m.view != self.view or not self.is_active:
+        # Votes from views ahead of ours are kept: they are keyed by
+        # digest, so they can only ever complete the identical batch.
+        if m.view < self.view or not self.is_active:
             return
         self.cpu.charge_mac(48)
         self._record_vote(m)
 
     def _record_vote(self, m: CommitMsg) -> None:
-        expected = self._digests.get(m.seqno)
-        if expected is not None and m.batch_digest != expected:
-            return  # equivocation; the full protocol would view-change
-        votes = self._votes.setdefault(m.seqno, set())
+        votes = self._votes.setdefault((m.seqno, m.batch_digest), set())
         votes.add(m.sender)
-        quorum = 2 * self.config.t + 1
-        if len(votes) >= quorum and m.seqno in self._batches:
-            batch = self._batches.pop(m.seqno)
-            self._votes.pop(m.seqno, None)
-            self._digests.pop(m.seqno, None)
-            self.commit_batch(m.seqno, batch)
+        self._maybe_commit(m.seqno)
+
+    def _maybe_commit(self, seqno: int) -> None:
+        """Complete a slot once the PRE-PREPARE fixed its digest and that
+        digest holds 2t + 1 votes."""
+        digest = self._digests.get(seqno)
+        if digest is None:
+            return  # votes outran the pre-prepare; re-checked on arrival
+        votes = self._votes.get((seqno, digest), ())
+        if len(votes) < 2 * self.config.t + 1 \
+                or seqno not in self._batches:
+            return
+        batch = self._batches.pop(seqno)
+        self._digests.pop(seqno, None)
+        for key in [k for k in self._votes if k[0] == seqno]:
+            del self._votes[key]
+        self.commit_batch(seqno, batch)
 
     def after_execute(self, seqno: int, batch: Batch,
                       results: List[Any]) -> None:
         # Every active replica replies; the client needs t + 1 matching.
         if self.is_active:
             self.reply_to_clients(seqno, batch, results)
+
+    # -- view change ------------------------------------------------------
+    def on_enter_view(self, view: int) -> None:
+        # In-flight slots of the old view are either carried over by the
+        # new primary's merge or (if uncommitted everywhere) re-driven by
+        # client retransmission.  Votes are NOT dropped: they are keyed
+        # by (seqno, digest), so retained ones can only ever complete the
+        # identical batch -- and ahead-of-view COMMITs that overtook the
+        # new primary's first PRE-PREPARE (kept by `_on_commit`) must
+        # survive this transition or the slot could lose its quorum for
+        # good.  Only vote sets for slots already executed are pruned.
+        self._votes = {key: votes for key, votes in self._votes.items()
+                       if key[0] > self.ex}
+        self._batches.clear()
+        self._digests.clear()
+
+    def make_view_change(self, target: int) -> ViewChange:
+        committed = tuple((sn, entry.batch)
+                          for sn, entry in self.commit_log.items())
+        prepared = tuple((sn, self._digests[sn], self._batches[sn])
+                         for sn in sorted(self._batches)
+                         if sn in self._digests
+                         and sn not in self.commit_log)
+        return ViewChange(target, self.replica_id, self.ex, committed,
+                          prepared)
+
+    def view_change_size(self, message: ViewChange) -> int:
+        return (sum(b.size_bytes + 16 for _, b in message.committed)
+                + sum(b.size_bytes + 48 for _, _, b in message.prepared)
+                + 128)
+
+    def install_view(self, target: int, msgs: Dict[int, Any]) -> None:
+        committed: Dict[int, Batch] = {}
+        prepared: Dict[int, Batch] = {}
+        freshest = self.replica_id
+        freshest_ex = self.ex
+        for m in msgs.values():
+            for sn, batch in m.committed:
+                committed[sn] = batch
+            if m.executed_upto > freshest_ex:
+                freshest, freshest_ex = m.sender, m.executed_upto
+        for m in msgs.values():
+            for sn, _digest, batch in m.prepared:
+                if sn not in committed:
+                    prepared.setdefault(sn, batch)
+        # Adopt the merged committed prefix ourselves.
+        for sn in sorted(committed):
+            if sn > self.ex and sn not in self.commit_log:
+                self.commit_log.put(
+                    sn, CommitEntry(sn, target, committed[sn], ()))
+        self.execute_ready()
+        announcement = NewView(target, self.replica_id, self.ex,
+                               tuple(sorted(committed.items())))
+        peers = self.other_replica_names()
+        size = sum(b.size_bytes for b in committed.values()) + 128
+        self.cpu.charge_macs(len(peers), size)
+        self.multicast(peers, announcement, size_bytes=size)
+        # Continue numbering above everything the old views touched, and
+        # re-propose the carried-over prepared certificates in this view.
+        top = max(self.sn, self.ex,
+                  max(committed, default=0), max(prepared, default=0))
+        self.sn = top
+        for sn in sorted(prepared):
+            if sn <= self.ex or sn in self.commit_log:
+                continue
+            self.propose_batch(sn, prepared[sn])
+        if freshest_ex > self.ex:
+            self.request_sync(freshest)
+
+    def _on_new_view(self, src: str, m: NewView) -> None:
+        if m.view < self.view or src != f"r{self.new_leader_of(m.view)}":
+            return
+        self.cpu.charge_mac(128)
+        for sn, batch in m.committed:
+            if sn > self.ex and sn not in self.commit_log:
+                self.commit_log.put(sn, CommitEntry(sn, m.view, batch, ()))
+        self.enter_view(m.view)
+        self.execute_ready()
+        if m.executed_upto > self.ex:
+            # The merge reaches past what we can replay: fetch the rest
+            # (for an old passive joining the active set this is a state
+            # transfer).
+            self.request_sync(m.sender)

@@ -104,6 +104,8 @@ class XPaxosReplica(ReplicaBase):
         self._vc: Dict[int, _ViewChangeState] = {}
         self._net_timer = Timer(self, self._on_net_timer, "timer_net")
         self._vc_timer = Timer(self, self._on_vc_timer, "timer_vc")
+        self._vc_retx_timer = Timer(self, self._on_vc_retransmit,
+                                    "timer_vc_retx")
         self.view_changes_completed = 0
         self.in_view_change = False
 
@@ -598,6 +600,29 @@ class XPaxosReplica(ReplicaBase):
             self._vc.setdefault(new_view, _ViewChangeState())
             self._net_timer.start(2 * self.config.delta_ms)
             self._vc_timer.start(self.config.view_change_timeout_ms)
+        else:
+            # Passive in the new view: re-send our VIEW-CHANGE until the
+            # change is observed complete (see _on_vc_retransmit).
+            self._vc_retx_timer.start(self.config.view_change_timeout_ms)
+
+    def _on_vc_retransmit(self) -> None:
+        """Reliable-channel emulation: the paper assumes a VIEW-CHANGE
+        sent while its receiver is down is retransmitted until received.
+        The simulator sends once, so a replica that is the sole holder of
+        a committed entry (e.g. the survivor of overlapping crashes)
+        could have its log silently excluded from the n - t VCSet --
+        losing committed state outside anarchy (the Appendix A pattern
+        without any non-crash fault).  Active replicas already escalate
+        through their view-change timer; the passive replica of the
+        pending view (which has no timer) re-sends its VIEW-CHANGE on the
+        same cadence until the change is observed complete."""
+        if not self.in_view_change \
+                or self.groups.is_active(self.view, self.replica_id):
+            return
+        vc = self._build_view_change(self.view)
+        for name in self._active_names(self.view):
+            self.send(name, vc, size_bytes=self._vc_size(vc))
+        self._vc_retx_timer.start(self.config.view_change_timeout_ms)
 
     def _build_view_change(self, new_view: int) -> msg.ViewChange:
         commit_entries = tuple(self.commit_log.items())
@@ -646,7 +671,10 @@ class XPaxosReplica(ReplicaBase):
 
     def _record_view_change(self, m: msg.ViewChange) -> None:
         state = self._vc.setdefault(m.new_view, _ViewChangeState())
-        state.vcset[m.sender] = m
+        # First message per (view, sender) wins: retransmissions rebuild
+        # the message from live state, and actives must select from the
+        # same VCSet or the NEW-VIEW cross-check would mis-fire.
+        state.vcset.setdefault(m.sender, m)
         self._maybe_send_vc_final(m.new_view)
 
     def _on_net_timer(self) -> None:
@@ -906,6 +934,7 @@ class XPaxosReplica(ReplicaBase):
                     self._execute_ready()
             self._execute_ready()
         self._vc_timer.stop()
+        self._vc_retx_timer.stop()
         self.in_view_change = False
         self.view_changes_completed += 1
         # Drain prepares for this view that arrived while we were still
@@ -1084,6 +1113,13 @@ class XPaxosReplica(ReplicaBase):
                       size_bytes=entry.batch.size_bytes)
 
     def _on_lazy_commit(self, src: str, m: msg.LazyCommit) -> None:
+        # A passive replica that entered a view it is not active in never
+        # receives the NEW-VIEW; lazy traffic at or above that view is its
+        # evidence that the change completed.
+        if (m.view >= self.view and self.in_view_change
+                and not self.groups.is_active(self.view, self.replica_id)):
+            self.in_view_change = False
+            self._vc_retx_timer.stop()
         # Lazy traffic from a newer view tells a (recovered) passive
         # replica that a view change completed while it was away: adopt
         # the view number so later suspicions reference the right view.

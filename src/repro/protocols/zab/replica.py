@@ -13,15 +13,25 @@ The detail driving Figure 10's result is step 2: the Zab leader ships every
 request to *2t* followers, whereas the XPaxos primary ships to only *t*
 followers, so with the leader's WAN uplink as the bottleneck XPaxos reaches
 a higher peak throughput (Section 5.5).
+
+Epoch change: a follower that suspects the leader broadcasts a
+``FOLLOWER-INFO`` for the next epoch carrying its acked history (committed
+entries plus acked-but-uncommitted proposals; the old leader contributes
+its in-flight proposals the same way).  The prospective leader
+(``epoch mod n``) collects a majority of these, keeps the entry acked in
+the highest epoch per zxid -- the freshest acked prefix -- announces
+``NEW-EPOCH``, and re-proposes that history in the new epoch, which both
+re-commits anything the old quorum had accepted and synchronises lagging
+followers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set
+from typing import Any, Dict, List, Set, Tuple
 
-from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica, ClientRequestMsg
+from repro.crypto.primitives import digest_of
+from repro.protocols.base import BaselineReplica, GenericReply
 from repro.smr.messages import Batch
 
 
@@ -51,6 +61,30 @@ class CommitZab:
     seqno: int
 
 
+@dataclass(frozen=True)
+class FollowerInfo:
+    """Suspecting replica -> all: acked history for the target epoch.
+
+    ``entries`` is ``(seqno, epoch acked in, batch)``; the new leader keeps
+    the highest-epoch entry per slot.
+    """
+
+    epoch: int
+    sender: int
+    executed_upto: int
+    entries: Tuple[Tuple[int, int, Batch], ...]
+
+
+@dataclass(frozen=True)
+class NewEpoch:
+    """New leader -> all: the epoch is installed; history follows as
+    re-proposals (lagging followers sync from the leader)."""
+
+    epoch: int
+    sender: int
+    executed_upto: int
+
+
 class ZabReplica(BaselineReplica):
     """One replica of a Zab ensemble (n = 2t + 1)."""
 
@@ -59,21 +93,30 @@ class ZabReplica(BaselineReplica):
         self._proposed: Dict[int, Batch] = {}
         self._acks: Dict[int, Set[int]] = {}
         self._pending_commits: Dict[int, Batch] = {}
+        # COMMITZAB can outrun its PROPOSAL across links: remember the
+        # zxid and deliver as soon as the proposal arrives instead of
+        # silently losing the commit.
+        self._early_commits: Set[int] = set()
 
     def follower_ids(self) -> List[int]:
         """All 2t followers of the current epoch."""
         assert self.config.n is not None
         return [r for r in range(self.config.n) if r != self.leader_id]
 
-    def on_message(self, src: str, payload: Any) -> None:
-        if isinstance(payload, ClientRequestMsg):
-            self.receive_request(payload.request)
-        elif isinstance(payload, Proposal):
+    def supports_view_change(self) -> bool:
+        return True
+
+    def on_protocol_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, Proposal):
             self._on_proposal(src, payload)
         elif isinstance(payload, Ack):
             self._on_ack(payload)
         elif isinstance(payload, CommitZab):
             self._on_commit(payload)
+        elif isinstance(payload, FollowerInfo):
+            self.on_view_change_msg(payload.sender, payload.epoch, payload)
+        elif isinstance(payload, NewEpoch):
+            self._on_new_epoch(src, payload)
 
     def propose_batch(self, seqno: int, batch: Batch) -> None:
         self._proposed[seqno] = batch
@@ -86,12 +129,19 @@ class ZabReplica(BaselineReplica):
         self.multicast(followers, proposal, size_bytes=batch.size_bytes)
 
     def _on_proposal(self, src: str, m: Proposal) -> None:
-        if m.epoch != self.view or self.is_leader:
+        if m.epoch > self.view and src == f"r{self.new_leader_of(m.epoch)}":
+            # A fresher epoch's leader is proposing: its election
+            # completed (the NEW-EPOCH may still be in flight).
+            self.enter_view(m.epoch)
+        if m.epoch != self.view or self.is_leader or self.campaigning:
             return
         self.cpu.charge_mac(m.batch.size_bytes)
         self._pending_commits[m.seqno] = m.batch
         self.send(f"r{self.leader_id}",
                   Ack(m.epoch, m.seqno, self.replica_id), size_bytes=32)
+        if m.seqno in self._early_commits:
+            self._early_commits.discard(m.seqno)
+            self._deliver(m.seqno)
 
     def _on_ack(self, m: Ack) -> None:
         if m.epoch != self.view or not self.is_leader:
@@ -113,13 +163,84 @@ class ZabReplica(BaselineReplica):
             self.commit_batch(m.seqno, batch)
 
     def _on_commit(self, m: CommitZab) -> None:
-        batch = self._pending_commits.pop(m.seqno, None)
-        if batch is None:
-            return
         self.cpu.charge_mac(32)
-        self.commit_batch(m.seqno, batch)
+        if m.seqno not in self._pending_commits:
+            if m.seqno > self.ex and m.seqno not in self.commit_log:
+                # The commit outran its proposal: buffer the zxid until
+                # the proposal lands rather than losing it forever.
+                self._early_commits.add(m.seqno)
+            return
+        self._deliver(m.seqno)
+
+    def _deliver(self, seqno: int) -> None:
+        batch = self._pending_commits.pop(seqno)
+        self.commit_batch(seqno, batch)
 
     def after_execute(self, seqno: int, batch: Batch,
                       results: List[Any]) -> None:
         if self.is_leader:
             self.reply_to_clients(seqno, batch, results)
+        else:
+            # Followers cache their replies so a later leader answers
+            # retried requests from the cache instead of re-ordering them.
+            for request, result in zip(batch, results):
+                self._last_reply[request.client] = GenericReply(
+                    replica=self.replica_id, view=self.view, seqno=seqno,
+                    timestamp=request.timestamp, client=request.client,
+                    result=result, result_digest=digest_of(result))
+
+    # -- epoch change -----------------------------------------------------
+    def on_enter_view(self, view: int) -> None:
+        # In-flight proposals of the old epoch either had a quorum of acks
+        # (then some majority member reported them and the new leader
+        # re-proposes them) or are re-driven by client retransmission.
+        self._proposed.clear()
+        self._acks.clear()
+        self._pending_commits.clear()
+        self._early_commits.clear()
+
+    def make_view_change(self, target: int) -> FollowerInfo:
+        entries: Dict[int, Tuple[int, Batch]] = {}
+        for sn, entry in self.commit_log.items():
+            entries[sn] = (entry.view, entry.batch)
+        for sn, batch in self._pending_commits.items():
+            entries.setdefault(sn, (self.view, batch))
+        for sn, batch in self._proposed.items():
+            entries.setdefault(sn, (self.view, batch))
+        return FollowerInfo(
+            target, self.replica_id, self.ex,
+            tuple((sn, epoch, batch)
+                  for sn, (epoch, batch) in sorted(entries.items())))
+
+    def view_change_size(self, message: FollowerInfo) -> int:
+        return (sum(b.size_bytes + 24 for _, _, b in message.entries)
+                + 128)
+
+    def install_view(self, target: int, msgs: Dict[int, Any]) -> None:
+        # Freshest acked prefix: per slot, the entry acked in the highest
+        # epoch wins (any committed slot was acked by a majority, which
+        # intersects this majority of FOLLOWER-INFOs).
+        merged: Dict[int, Tuple[int, Batch]] = {}
+        for m in msgs.values():
+            for sn, epoch, batch in m.entries:
+                current = merged.get(sn)
+                if current is None or epoch > current[0]:
+                    merged[sn] = (epoch, batch)
+        announcement = NewEpoch(target, self.replica_id, self.ex)
+        peers = self.other_replica_names()
+        self.cpu.charge_macs(len(peers), 64)
+        self.multicast(peers, announcement, size_bytes=64)
+        self.sn = max(self.sn, self.ex, max(merged, default=0))
+        for sn in sorted(merged):
+            if sn <= self.ex and sn in self.commit_log:
+                continue
+            _, batch = merged[sn]
+            self.propose_batch(sn, batch)
+
+    def _on_new_epoch(self, src: str, m: NewEpoch) -> None:
+        if m.epoch < self.view or src != f"r{self.new_leader_of(m.epoch)}":
+            return
+        self.cpu.charge_mac(64)
+        self.enter_view(m.epoch)
+        if m.executed_upto > self.ex:
+            self.request_sync(m.sender)

@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
-from repro.protocols.base import QuorumClient
+from typing import Dict, List, Tuple
+
+from repro.protocols.base import GenericReply, QuorumClient
+from repro.protocols.zyzzyva.replica import CommitCert
 
 
 class ZyzzyvaClient(QuorumClient):
     """Closed-loop client committing on all ``3t + 1`` speculative replies.
 
-    The fault-free evaluation always completes on the fast path; a
-    commit-certificate fallback on ``2t + 1`` matching replies is modelled
-    by the retransmission timer re-driving the request (the second phase's
-    extra round trip is dominated by the timer in WAN settings).
+    When the retransmission timer fires while the client already holds
+    ``2t + 1`` matching speculative responses (a replica is slow or down),
+    it assembles a commit certificate from them, forwards it to every
+    replica (:class:`CommitCert`), and completes -- the protocol's second
+    phase, with the grace period modelled by the timer.
     """
 
     def __init__(self, client_id, config, sim, network, keystore, site,
@@ -19,3 +23,33 @@ class ZyzzyvaClient(QuorumClient):
         assert config.n is not None
         super().__init__(client_id, config, sim, network, keystore, site,
                          reply_quorum=config.n, cost_model=cost_model)
+        self.fallback_commits = 0
+
+    def _on_timeout(self) -> None:
+        request = self._request
+        if request is None:
+            return
+        groups: Dict[Tuple, List[GenericReply]] = {}
+        for reply in self._replies.values():
+            groups.setdefault((reply.seqno, reply.result_digest),
+                              []).append(reply)
+        need = 2 * self.config.t + 1
+        for (seqno, digest), replies in sorted(groups.items(),
+                                               key=lambda kv: kv[0][0]):
+            if len(replies) < need:
+                continue
+            cert = CommitCert(
+                view=max(r.view for r in replies), seqno=seqno,
+                result_digest=digest, client=self.client_id,
+                timestamp=request.timestamp,
+                repliers=tuple(sorted(r.replica for r in replies)))
+            assert self.config.n is not None
+            names = [f"r{r}" for r in range(self.config.n)]
+            self.cpu.charge_macs(len(names), 96)
+            self.multicast(names, cert, size_bytes=96)
+            self.fallback_commits += 1
+            full = next((r.result for r in replies
+                         if r.result is not None), replies[0].result)
+            self._complete(request, full)
+            return
+        super()._on_timeout()

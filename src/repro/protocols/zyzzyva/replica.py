@@ -10,20 +10,30 @@ speculative fast path:
    ``SPEC-RESPONSE`` straight to the client;
 4. the client commits when all ``3t + 1`` speculative responses match.
 
-If fewer than 3t + 1 but at least 2t + 1 match, the real protocol runs the
-commit-certificate round; the client here falls back to accepting 2t + 1
-matching responses after a grace period, which models that second phase's
-latency without its message bookkeeping (the evaluation is fault-free, so
-the fast path dominates).
+If fewer than 3t + 1 but at least 2t + 1 match, the client assembles a
+*commit certificate* from the matching responses, forwards it to the
+replicas (:class:`CommitCert`), and completes -- the real protocol's
+second phase, with its message bookkeeping reduced to the certificate
+itself.  A replica that receives a certificate for a slot it never saw
+knows the primary failed to deliver its ORDER-REQ: it fetches the gap and
+starts suspecting the primary.
+
+View change: replicas suspecting the primary broadcast ``VIEW-CHANGE``
+messages carrying their speculative histories (their commit logs -- in
+Zyzzyva speculative execution *is* commitment, to be rolled back only
+across view changes, which the certificate forwarding makes unnecessary
+for crash faults); the new primary merges the longest certified history,
+announces ``NEW-VIEW``, and resumes ordering above it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, Dict, List, Tuple
 
 from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica, ClientRequestMsg
+from repro.protocols.base import BaselineReplica
+from repro.smr.log import CommitEntry
 from repro.smr.messages import Batch
 
 
@@ -38,18 +48,62 @@ class OrderReq:
     history_digest: Digest
 
 
+@dataclass(frozen=True)
+class CommitCert:
+    """Client -> all replicas: 2t + 1 matching speculative responses for
+    one slot (the fallback path's commit proof)."""
+
+    view: int
+    seqno: int
+    result_digest: Digest
+    client: int
+    timestamp: int
+    repliers: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """Suspecting replica -> all: its speculative history for ``view``."""
+
+    view: int
+    sender: int
+    executed_upto: int
+    entries: Tuple[Tuple[int, Batch], ...]
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New primary -> all: the merged history the new view starts from."""
+
+    view: int
+    sender: int
+    executed_upto: int
+    entries: Tuple[Tuple[int, Batch], ...]
+
+
 class ZyzzyvaReplica(BaselineReplica):
     """One replica of the Zyzzyva deployment (n = 3t + 1, all active)."""
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._history = Digest(b"\x00" * 32)
+        self.certs_received = 0
 
-    def on_message(self, src: str, payload: Any) -> None:
-        if isinstance(payload, ClientRequestMsg):
-            self.receive_request(payload.request)
-        elif isinstance(payload, OrderReq):
+    def supports_view_change(self) -> bool:
+        return True
+
+    def view_change_quorum(self) -> int:
+        return 2 * self.config.t + 1
+
+    def on_protocol_message(self, src: str, payload: Any) -> None:
+        if isinstance(payload, OrderReq):
             self._on_order_req(src, payload)
+        elif isinstance(payload, CommitCert):
+            self._on_commit_cert(payload)
+        elif isinstance(payload, ViewChange):
+            self.on_view_change_msg(payload.sender, payload.view, payload)
+        elif isinstance(payload, NewView):
+            self._on_new_view(src, payload)
 
     def propose_batch(self, seqno: int, batch: Batch) -> None:
         digest = self.batch_digest(batch)
@@ -64,12 +118,30 @@ class ZyzzyvaReplica(BaselineReplica):
         self.commit_batch(seqno, batch)
 
     def _on_order_req(self, src: str, m: OrderReq) -> None:
-        if m.view != self.view or self.is_leader:
+        if m.view > self.view and src == f"r{self.new_leader_of(m.view)}":
+            # A fresher view's primary is ordering: its view change
+            # completed (the NEW-VIEW may still be in flight).
+            self.enter_view(m.view)
+        if m.view != self.view or self.is_leader or self.campaigning:
             return
         self.cpu.charge_mac(m.batch.size_bytes)
         self._extend_history(m.batch_digest)
         # Speculative execution: commit immediately on the primary's order.
         self.commit_batch(m.seqno, m.batch)
+
+    def _on_commit_cert(self, m: CommitCert) -> None:
+        self.cpu.charge_mac(96)
+        self.certs_received += 1
+        if m.seqno not in self.commit_log and m.seqno > self.ex:
+            # A certified slot we never received: the primary failed to
+            # deliver our ORDER-REQ.  Repair the gap from a certifying
+            # replica and start suspecting the primary.
+            if m.repliers:
+                self.request_sync(m.repliers[0])
+            if not self.is_leader \
+                    and not self._election_timer.armed:
+                self._election_timer.start(
+                    self.config.request_retransmit_ms)
 
     def _extend_history(self, digest: Digest) -> Digest:
         """Zyzzyva's rolling history digest ``h_n = D(h_{n-1}, d_n)``."""
@@ -83,3 +155,50 @@ class ZyzzyvaReplica(BaselineReplica):
                       results: List[Any]) -> None:
         # Every replica sends a speculative response to the client.
         self.reply_to_clients(seqno, batch, results)
+
+    # -- view change ------------------------------------------------------
+    def make_view_change(self, target: int) -> ViewChange:
+        entries = tuple((sn, entry.batch)
+                        for sn, entry in self.commit_log.items())
+        return ViewChange(target, self.replica_id, self.ex, entries)
+
+    def view_change_size(self, message: ViewChange) -> int:
+        return sum(b.size_bytes + 16 for _, b in message.entries) + 128
+
+    def install_view(self, target: int, msgs: Dict[int, Any]) -> None:
+        merged: Dict[int, Batch] = {}
+        freshest = self.replica_id
+        freshest_ex = self.ex
+        for m in msgs.values():
+            for sn, batch in m.entries:
+                merged.setdefault(sn, batch)
+            if m.executed_upto > freshest_ex:
+                freshest, freshest_ex = m.sender, m.executed_upto
+        for sn in sorted(merged):
+            if sn > self.ex and sn not in self.commit_log:
+                self.commit_log.put(
+                    sn, CommitEntry(sn, target, merged[sn], ()))
+        self.execute_ready()
+        announcement = NewView(target, self.replica_id, self.ex,
+                               tuple(sorted(merged.items())))
+        peers = self.other_replica_names()
+        size = sum(b.size_bytes for b in merged.values()) + 128
+        self.cpu.charge_macs(len(peers), size)
+        self.multicast(peers, announcement, size_bytes=size)
+        self.sn = max(self.sn, self.ex, max(merged, default=0))
+        if freshest_ex > self.ex:
+            self.request_sync(freshest)
+
+    def _on_new_view(self, src: str, m: NewView) -> None:
+        if m.view < self.view or src != f"r{self.new_leader_of(m.view)}":
+            return
+        self.cpu.charge_mac(128)
+        for sn, batch in m.entries:
+            if sn > self.ex and sn not in self.commit_log:
+                self.commit_log.put(sn, CommitEntry(sn, m.view, batch, ()))
+        self.enter_view(m.view)
+        self.sn = max(self.sn, self.ex,
+                      max((sn for sn, _ in m.entries), default=0))
+        self.execute_ready()
+        if m.executed_upto > self.ex:
+            self.request_sync(m.sender)

@@ -66,6 +66,9 @@ class Scenario:
             when it is not -- safety violations are then admissible.
         expect_detection: every adversary must be convicted by at least
             one benign replica (XPaxos fault detection, Section 4.4).
+        convicted: when set, exactly these replica ids must end the run
+            convicted by the benign replicas' fault detectors -- asserting
+            *which* replica is blamed, not merely that someone is.
         check_liveness: arm the liveness checker.
         liveness_bound_ms: tolerated commit-free window while healthy.
         min_committed: floor on total client-visible commits.
@@ -85,6 +88,7 @@ class Scenario:
     one_way_ms: float = 1.0
     expect_anarchy: bool = False
     expect_detection: bool = False
+    convicted: Optional[FrozenSet[int]] = None
     check_liveness: bool = True
     liveness_bound_ms: float = 2_500.0
     min_committed: int = 1

@@ -87,13 +87,14 @@ class ClusterHarness:
 
 
 def make_harness(protocol=ProtocolName.XPAXOS, t=1, num_clients=3,
-                 non_crash_faulty=(), seed=42,
+                 non_crash_faulty=(), seed=42, latency=None,
                  **overrides) -> ClusterHarness:
     """A small fast-timeout cluster with injector and checker attached."""
     params = dict(FAST_TIMEOUTS)
     params.update(overrides)
     config = ClusterConfig(t=t, protocol=protocol, **params)
-    runtime = build_cluster(config, num_clients=num_clients, seed=seed)
+    runtime = build_cluster(config, num_clients=num_clients, seed=seed,
+                            latency=latency)
     return ClusterHarness(
         runtime=runtime,
         injector=FaultInjector(runtime),

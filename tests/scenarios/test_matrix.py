@@ -11,6 +11,7 @@ import pytest
 from repro.common.config import ProtocolName
 from repro.harness.matrix import (
     EXPECTED_VIOLATION,
+    FAIL,
     MatrixRunner,
     PASS,
     SKIPPED,
@@ -44,14 +45,52 @@ class TestConformanceMatrix:
 
 class TestCellGrading:
     def test_out_of_scope_cell_is_skipped(self):
-        cell = MatrixRunner().run_cell(ProtocolName.PBFT,
-                                       get_scenario("crash-primary"))
+        # Byzantine scenarios need the non-crash adversary hook, which
+        # only XPaxos models -- the last genuinely out-of-scope cells.
+        cell = MatrixRunner().run_cell(
+            ProtocolName.PBFT, get_scenario("byzantine-primary-data-loss"))
         assert cell.status == SKIPPED and cell.ok
+
+    def test_crash_primary_now_in_scope_for_baselines(self):
+        """The baseline view-change work brought the leader-fault cells
+        into scope: a crashed PBFT primary must no longer stall the
+        protocol forever."""
+        cell = MatrixRunner(seed=0).run_cell(ProtocolName.PBFT,
+                                             get_scenario("crash-primary"))
+        assert cell.status == PASS, cell.detail
+        assert cell.liveness_violations == 0
 
     def test_detection_expectation_enforced(self):
         scenario = get_scenario("byzantine-primary-data-loss")
         cell = MatrixRunner(seed=0).run_cell(ProtocolName.XPAXOS, scenario)
         assert cell.status == PASS and cell.detection_ok
+
+    def test_convicted_expectation_names_the_culprit(self):
+        """The detection scenarios assert *which* replica the fault
+        detector convicts, not merely that someone is."""
+        scenario = get_scenario("byzantine-primary-data-loss")
+        assert scenario.convicted == frozenset({0})
+        cell = MatrixRunner(seed=0).run_cell(ProtocolName.XPAXOS, scenario)
+        assert cell.convicted == [0]
+        assert cell.status == PASS
+
+    def test_wrong_convicted_expectation_fails_the_cell(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            get_scenario("byzantine-primary-data-loss"),
+            convicted=frozenset({2}))
+        cell = MatrixRunner(seed=0).run_cell(ProtocolName.XPAXOS, scenario)
+        assert cell.status == FAIL
+        assert "convicted" in cell.detail
+
+    def test_t2_scenario_runs_five_replica_clusters(self):
+        scenario = get_scenario("crash-two-followers-t2")
+        runner = MatrixRunner(seed=0)
+        config = runner.base_config(ProtocolName.PAXOS, scenario)
+        assert config.t == 2 and config.n == 5
+        cell = runner.run_cell(ProtocolName.PAXOS, scenario)
+        assert cell.status == PASS, cell.detail
 
     def test_same_seed_is_byte_identical(self):
         scenario = get_scenario("crash-follower")

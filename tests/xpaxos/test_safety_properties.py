@@ -93,6 +93,29 @@ def test_fault_free_runs_are_deterministic_and_ordered(seed):
     assert driver.throughput.total > 0
 
 
+def test_overlapping_crashes_preserve_sole_survivor_log():
+    """Regression (found by the crash-schedule property): with r1 down
+    500-1764 ms and r0 down 1000-1582 ms, r2 is briefly the sole holder
+    of a committed slot and enters a view whose actives are both still
+    down -- its VIEW-CHANGE was sent once and lost, and the new actives
+    later re-assigned that slot to a different batch.  The passive-side
+    VIEW-CHANGE retransmission (reliable-channel emulation) must carry
+    r2's log into the eventual view."""
+    runtime = build(t=1, seed=0)
+    schedule = (FaultSchedule()
+                .crash_for(500.0, 1, 1264.193244329622)
+                .crash_for(1000.0, 0, 582.0))
+    FaultInjector(runtime).arm(schedule)
+    checker = SafetyChecker(runtime)
+    driver = ClosedLoopDriver(
+        runtime, WorkloadConfig(num_clients=2, request_size=32,
+                                duration_ms=6_000.0, warmup_ms=100.0))
+    driver.run()
+    checker.assert_safe()
+    assert checker.violations() == []
+    assert driver.throughput.total > 0
+
+
 def test_client_commit_implies_majority_persistence():
     """Every client-committed request must be in the commit logs (or the
     executed state) of at least t+1 replicas at the end of a run."""

@@ -37,11 +37,15 @@ class TestCommonCase:
 
     def test_commit_requires_quorum_ack(self, zab_t1):
         """A proposal only commits after a majority of acks."""
-        # Partition the leader from both followers: no commits can happen.
+        # Partition the leader from both followers: the isolated leader
+        # can never commit anything itself.  (The majority side elects a
+        # new epoch and moves on -- that is the failover path's job.)
         zab_t1.network.partitions.block_pair("r0", "r1")
         zab_t1.network.partitions.block_pair("r0", "r2")
-        driver = run_workload(zab_t1, duration_ms=1_000.0, warmup_ms=0.0)
-        assert driver.throughput.total == 0
+        run_workload(zab_t1, duration_ms=1_000.0, warmup_ms=0.0)
+        assert zab_t1.replica(0).committed_requests == 0
+        # Any progress the cluster made happened in a fresher epoch.
+        assert max(r.view for r in zab_t1.replicas) >= 1
 
     def test_minority_partition_does_not_block(self, zab_t1):
         zab_t1.network.partitions.block_pair("r0", "r2")
