@@ -12,6 +12,7 @@ Run ``python -m repro bench`` for the full-size suite and the
 """
 
 from repro.harness.perf import (
+    bench_authenticated_broadcast,
     bench_broadcast_storm,
     bench_event_churn,
     bench_message_storm,
@@ -51,6 +52,20 @@ def test_broadcast_storm_speedup(benchmark):
     assert result["speedup"] > 1.05
 
 
+def test_authenticated_broadcast_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_authenticated_broadcast(1_500, repeat=2),
+        rounds=1, iterations=1)
+    # Every delivery's MAC verified on both fabrics, same counts: the
+    # delivery-time MAC vector is observationally identical to the
+    # payload-embedded encoding.
+    assert result["results_match"]
+    assert result["result"]["verified"] == result["result"]["delivered"]
+    # Typical ratio ~1.5x (one payload digest per fan-out instead of
+    # eight, plus the multicast path); loose floor for loaded CI hosts.
+    assert result["speedup"] > 1.05
+
+
 def test_closed_loop_xpaxos_deterministic(benchmark):
     result = benchmark.pedantic(
         lambda: bench_xpaxos_closed_loop(num_clients=8,
@@ -65,6 +80,6 @@ def test_suite_payload_shape():
                         clients=2, duration_ms=400.0, repeat=1)
     assert set(payload["benchmarks"]) == {
         "event_churn", "message_storm", "broadcast_storm",
-        "xpaxos_closed_loop"}
+        "authenticated_broadcast", "xpaxos_closed_loop"}
     text = format_suite(payload)
     assert "event_churn" in text and "speedup" in text

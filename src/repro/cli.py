@@ -106,6 +106,43 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trajectory(args: argparse.Namespace) -> int:
+    """Perf-trajectory gate over ``benchmarks/perf/history/``.
+
+    ``check`` compares a ``BENCH_perf.json`` against the best recorded
+    speedups and fails (exit 1) on a >tolerance drop; ``record`` archives
+    the payload as a new trajectory point.
+    """
+    import json
+
+    from repro.harness.trajectory import (
+        check_point,
+        format_check,
+        load_history,
+        record_point,
+    )
+
+    try:
+        with open(args.payload) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        # ValueError covers a truncated/corrupt JSON payload (e.g. a
+        # bench run killed mid-write).
+        print(f"cannot read {args.payload}: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "record":
+        path = record_point(payload, history_dir=args.history_dir,
+                            label=args.label)
+        print(f"recorded trajectory point {path}")
+        return 0
+    history = load_history(args.history_dir)
+    print(format_check(payload, history, tolerance=args.tolerance))
+    problems = check_point(payload, history, tolerance=args.tolerance)
+    for problem in problems:
+        print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """One run per protocol at a fixed client count (mini Figure 7)."""
     runner = _runner(args.seed, args.uplink)
@@ -267,6 +304,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repetitions (best-of)")
     bench.add_argument("--output", default="BENCH_perf.json")
     bench.set_defaults(func=cmd_bench)
+
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="perf-trajectory gate over benchmarks/perf/history/")
+    trajectory.add_argument("action", choices=["check", "record"])
+    trajectory.add_argument("payload", nargs="?", default="BENCH_perf.json",
+                            help="benchmark payload to gate/archive")
+    trajectory.add_argument("--history-dir",
+                            default="benchmarks/perf/history")
+    trajectory.add_argument("--tolerance", type=float, default=0.2,
+                            help="allowed drop below the best recorded "
+                                 "speedup (0.2 = 20%%)")
+    trajectory.add_argument("--label", default=None,
+                            help="suffix for the recorded point's filename")
+    trajectory.set_defaults(func=cmd_trajectory)
 
     compare = sub.add_parser("compare", help="all protocols, one load")
     compare.add_argument("--t", type=int, default=1)

@@ -18,6 +18,15 @@ from repro.crypto.primitives import (
     Signature,
     digest_of,
 )
+from repro.crypto.authenticators import (
+    MAC_VECTOR,
+    MODELED_MAC,
+    NULL,
+    SIGNATURE,
+    Authenticator,
+    authenticator_for,
+    register,
+)
 from repro.crypto.costs import CostModel, CpuMeter
 
 __all__ = [
@@ -28,4 +37,11 @@ __all__ = [
     "digest_of",
     "CostModel",
     "CpuMeter",
+    "Authenticator",
+    "authenticator_for",
+    "register",
+    "MAC_VECTOR",
+    "MODELED_MAC",
+    "NULL",
+    "SIGNATURE",
 ]

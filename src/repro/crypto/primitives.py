@@ -196,7 +196,16 @@ class KeyStore:
     def mac(self, sender: Principal, receiver: Principal,
             payload: Any) -> Mac:
         """Authenticate ``payload`` on the pairwise channel."""
-        digest = digest_of(payload)
+        return self.mac_digest(sender, receiver, digest_of(payload))
+
+    def mac_digest(self, sender: Principal, receiver: Principal,
+                   digest: Digest) -> Mac:
+        """MAC an already computed digest.
+
+        The fan-out fast path: an n-way authenticated broadcast hashes the
+        payload once and derives n channel tokens from the digest, instead
+        of hashing the payload n times.
+        """
         return Mac(sender, receiver, digest,
                    self._mac_token(sender, receiver, digest))
 

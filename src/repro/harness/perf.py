@@ -30,7 +30,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.config import ProtocolName, WorkloadConfig
-from repro.crypto.costs import CostModel
+from repro.crypto.authenticators import MAC_VECTOR
+from repro.crypto.costs import CostModel, CpuMeter
+from repro.crypto.primitives import KeyStore
 from repro.harness.configs import paper_config
 from repro.harness.runner import ExperimentRunner
 from repro.net.bandwidth import BandwidthModel
@@ -246,6 +248,73 @@ def _broadcast_workload(sim, network, rounds: int) -> Dict[str, Any]:
             "executed": sim.executed}
 
 
+def _auth_endpoints(network, keystore, count: int = 9):
+    """Endpoints that verify their channel authenticator on delivery --
+    transport-stamped MACs on the current fabric, payload-embedded
+    ``(body, mac)`` pairs on the seed fabric."""
+    sites = ("CA", "VA", "JP")
+    sink = {"delivered": 0, "verified": 0}
+    cpu = CpuMeter(CostModel.free())
+
+    def make(name: str, site: str) -> Endpoint:
+        def deliver(src, payload):  # seed style: mac embedded in payload
+            sink["delivered"] += 1
+            body, mac = payload
+            if mac.receiver == name and keystore.verify_mac(mac, body):
+                sink["verified"] += 1
+
+        def deliver_auth(src, body, auth, size_bytes):
+            sink["delivered"] += 1
+            if MAC_VECTOR.verify(keystore, cpu, src, name, body, auth,
+                                 size_bytes=size_bytes):
+                sink["verified"] += 1
+
+        return Endpoint(name, site, deliver, lambda: True,
+                        deliver_auth=deliver_auth)
+
+    names = []
+    for i in range(count):
+        name = f"n{i}"
+        network.attach(make(name, sites[i % len(sites)]))
+        names.append(name)
+    network._bench_sink = sink
+    return names
+
+
+def _auth_broadcast_current(sim, network, rounds, keystore):
+    """Transport-level MAC vector: one payload digest per fan-out, the
+    per-receiver MAC stamped at delivery fan-out time by multicast."""
+    names = _auth_endpoints(network, keystore)
+    leader, peers = names[0], names[1:]
+    payload = ("batch", b"x" * 64)
+    for _ in range(rounds):
+        network.multicast_authenticated(leader, peers, payload,
+                                        size_bytes=1004,
+                                        authenticator=MAC_VECTOR,
+                                        keystore=keystore)
+    sim.run()
+    sink = network._bench_sink
+    return {"delivered": sink["delivered"], "verified": sink["verified"],
+            "executed": sim.executed}
+
+
+def _auth_broadcast_seed(sim, network, rounds, keystore):
+    """The embedded-MAC encoding this repo started from: every receiver
+    needs a distinct payload object, so the fan-out degenerates into n
+    sequential sends, each hashing the payload afresh for its MAC."""
+    names = _auth_endpoints(network, keystore)
+    leader, peers = names[0], names[1:]
+    body = ("batch", b"x" * 64)
+    for _ in range(rounds):
+        for dst in peers:
+            mac = keystore.mac(leader, dst, body)
+            network.send(leader, dst, (body, mac), size_bytes=1024)
+    sim.run()
+    sink = network._bench_sink
+    return {"delivered": sink["delivered"], "verified": sink["verified"],
+            "executed": sim.executed}
+
+
 # ----------------------------------------------------------------------
 # Timing helpers
 # ----------------------------------------------------------------------
@@ -343,6 +412,27 @@ def bench_broadcast_storm(rounds: int = 12_500, seed: int = 0,
     return _compare(current, baseline, rounds * 8, repeat)
 
 
+def bench_authenticated_broadcast(rounds: int = 4_000, seed: int = 0,
+                                  repeat: int = 3) -> Dict[str, Any]:
+    """MAC'd 8-way fan-out: delivery-time MAC vector on the multicast
+    path vs the seed's payload-embedded MACs over sequential sends.
+
+    Every delivery verifies its MAC on both sides, and both fabrics draw
+    latency in the same order, so delivered/verified counts must match
+    exactly -- the forgery-detection semantics ride the benchmark.
+    """
+
+    def current() -> Dict[str, Any]:
+        sim, net = _current_net(seed)
+        return _auth_broadcast_current(sim, net, rounds, KeyStore())
+
+    def baseline() -> Dict[str, Any]:
+        sim, net = _seed_net(seed)
+        return _auth_broadcast_seed(sim, net, rounds, KeyStore())
+
+    return _compare(current, baseline, rounds * 8, repeat)
+
+
 def bench_xpaxos_closed_loop(num_clients: int = 16,
                              duration_ms: float = 2_000.0,
                              seed: int = 0) -> Dict[str, Any]:
@@ -409,6 +499,8 @@ def run_suite(events: int = 200_000, messages: int = 100_000,
             "broadcast_storm": bench_broadcast_storm(broadcast_rounds,
                                                      seed=seed,
                                                      repeat=repeat),
+            "authenticated_broadcast": bench_authenticated_broadcast(
+                max(1, broadcast_rounds // 3), seed=seed, repeat=repeat),
             "xpaxos_closed_loop": bench_xpaxos_closed_loop(
                 clients, duration_ms, seed=seed),
         },

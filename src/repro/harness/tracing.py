@@ -66,6 +66,23 @@ class MessageTracer:
                 _original(src, payload)
 
             endpoint.deliver = spying
+            original_auth = endpoint.deliver_auth
+            if original_auth is None:
+                continue
+
+            def spying_auth(src: str, body: Any, auth: Any,
+                            size_bytes: int, _original=original_auth,
+                            _dst=name) -> None:
+                # Authenticated deliveries are traced by their body: the
+                # transport authenticator is channel plumbing, not a
+                # protocol message.
+                if tracer._enabled:
+                    tracer.events.append(TraceEvent(
+                        time=network.sim.now, src=src, dst=_dst,
+                        kind=type(body).__name__, payload=body))
+                _original(src, body, auth, size_bytes)
+
+            endpoint.deliver_auth = spying_auth
         return tracer
 
     # ------------------------------------------------------------------

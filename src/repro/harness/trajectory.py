@@ -1,0 +1,178 @@
+"""Perf-trajectory gate: archive benchmark points, fail on regressions.
+
+``repro bench`` measures the current hot paths against the preserved seed
+implementation and reports host-normalized *speedup ratios*.  One run is
+a point; the archive under ``benchmarks/perf/history/`` is the
+trajectory.  The gate compares the current point against the best
+recorded speedup per benchmark and fails when any ratio drops more than
+``tolerance`` (default 20%) below that best -- which catches the failure
+mode a fresh-run smoke cannot: a PR that quietly gives back the speedups
+earlier PRs banked, while still being "faster than the seed".
+
+Speedup ratios are used (rather than wall-clock) because both sides of
+each ratio run on the same host in the same process, so points recorded
+on different machines remain comparable.  Wall-clock-ish numbers
+(``units_per_sec``, the closed loop's ``commits_per_wall_sec``) are
+archived for plotting but never gated on.
+
+Used by ``scripts/ci.sh perf`` through the ``repro trajectory`` CLI::
+
+    python -m repro trajectory check BENCH_perf.json
+    python -m repro trajectory record BENCH_perf.json --label pr5
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+#: Default archive location, relative to the repository root.
+HISTORY_DIR = os.path.join("benchmarks", "perf", "history")
+
+#: Default slack: fail when a speedup drops >20% below the best recorded.
+TOLERANCE = 0.2
+
+
+def _point_from_suite(payload: Dict[str, Any],
+                      label: Optional[str] = None) -> Dict[str, Any]:
+    """Distill one ``BENCH_perf.json`` payload into a history point."""
+    benchmarks: Dict[str, Any] = {}
+    for name, bench in payload.get("benchmarks", {}).items():
+        entry: Dict[str, Any] = {}
+        for key in ("speedup", "units_per_sec", "seconds",
+                    "commits_per_wall_sec", "results_match",
+                    "deterministic"):
+            if key in bench:
+                entry[key] = bench[key]
+        benchmarks[name] = entry
+    return {
+        "schema": 1,
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": payload.get("host", {}),
+        "params": payload.get("params", {}),
+        "benchmarks": benchmarks,
+    }
+
+
+def load_history(history_dir: str = HISTORY_DIR) -> List[Dict[str, Any]]:
+    """All archived points, ordered by filename (i.e. by recording time
+    for auto-named points).
+
+    A corrupt point (e.g. a file truncated by a killed run, then
+    re-propagated by a CI cache) is skipped with a warning instead of
+    wedging the gate forever; its best values are lost, which the
+    warning makes loud enough to act on.
+    """
+    if not os.path.isdir(history_dir):
+        return []
+    points = []
+    for name in sorted(os.listdir(history_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(history_dir, name)
+        try:
+            with open(path) as fh:
+                point = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping corrupt trajectory point {path}: "
+                  f"{exc}", file=sys.stderr)
+            continue
+        point["_file"] = name
+        points.append(point)
+    return points
+
+
+def best_speedups(history: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Best recorded speedup per benchmark across the trajectory."""
+    best: Dict[str, float] = {}
+    for point in history:
+        for name, bench in point.get("benchmarks", {}).items():
+            speedup = bench.get("speedup")
+            if speedup is None:
+                continue
+            if name not in best or speedup > best[name]:
+                best[name] = speedup
+    return best
+
+
+def check_point(payload: Dict[str, Any],
+                history: List[Dict[str, Any]],
+                tolerance: float = TOLERANCE) -> List[str]:
+    """Regression messages for ``payload`` against the trajectory.
+
+    Empty list = gate passes.  An empty history passes by definition
+    (the first recorded point seeds the trajectory).
+    """
+    problems: List[str] = []
+    best = best_speedups(history)
+    benchmarks = payload.get("benchmarks", {})
+    for name, bench in benchmarks.items():
+        speedup = bench.get("speedup")
+        if speedup is None or name not in best:
+            continue
+        floor = (1.0 - tolerance) * best[name]
+        if speedup < floor:
+            problems.append(
+                f"{name}: speedup {speedup:.2f}x fell >"
+                f"{tolerance:.0%} below the best recorded "
+                f"{best[name]:.2f}x (floor {floor:.2f}x)")
+    # A gated benchmark cannot vanish from the suite unnoticed: removing
+    # or renaming it is the quietest way to give a speedup back.
+    for name in sorted(best):
+        if name not in benchmarks:
+            problems.append(
+                f"{name}: on the trajectory (best {best[name]:.2f}x) but "
+                f"missing from this payload -- removed or renamed?")
+    return problems
+
+
+def record_point(payload: Dict[str, Any],
+                 history_dir: str = HISTORY_DIR,
+                 label: Optional[str] = None) -> str:
+    """Archive ``payload`` as a trajectory point; returns the file path."""
+    os.makedirs(history_dir, exist_ok=True)
+    point = _point_from_suite(payload, label=label)
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    name = f"{stamp}-{label}.json" if label else f"{stamp}.json"
+    path = os.path.join(history_dir, name)
+    # Never clobber an existing point (two runs in the same second).
+    serial = 1
+    while os.path.exists(path):
+        serial += 1
+        path = os.path.join(
+            history_dir, name.replace(".json", f"-{serial}.json"))
+    # Write-then-rename so a killed run cannot leave a truncated point.
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as fh:
+        json.dump(point, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def format_check(payload: Dict[str, Any],
+                 history: List[Dict[str, Any]],
+                 tolerance: float = TOLERANCE) -> str:
+    """Human-readable gate report (current vs best vs floor)."""
+    best = best_speedups(history)
+    lines = [f"{'benchmark':>24} {'current':>9} {'best':>9} {'floor':>9}"
+             f" {'status':>8}"]
+    for name, bench in payload.get("benchmarks", {}).items():
+        speedup = bench.get("speedup")
+        if speedup is None:
+            continue
+        if name in best:
+            floor = (1.0 - tolerance) * best[name]
+            status = "ok" if speedup >= floor else "REGRESS"
+            lines.append(f"{name:>24} {speedup:8.2f}x {best[name]:8.2f}x "
+                         f"{floor:8.2f}x {status:>8}")
+        else:
+            lines.append(f"{name:>24} {speedup:8.2f}x {'--':>9} {'--':>9} "
+                         f"{'seeding':>8}")
+    if not history:
+        lines.append("(history empty: this run seeds the trajectory)")
+    return "\n".join(lines)

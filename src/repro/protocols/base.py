@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.config import ClusterConfig
+from repro.crypto.authenticators import MODELED_MAC, register
 from repro.crypto.costs import CostModel
 from repro.crypto.primitives import Digest, KeyStore, digest_of
 from repro.net.network import Network
@@ -57,6 +58,13 @@ from repro.smr.messages import Batch, Reply, Request
 from repro.smr.runtime import ReplicaBase, SmrClientBase
 
 
+def register_modeled(message_class):
+    """Bind a baseline message class to the modelled channel-MAC policy
+    (CPU + wire bytes accounted at the transport, no real tokens)."""
+    return register(message_class, MODELED_MAC)
+
+
+@register_modeled
 @dataclass(frozen=True)
 class ClientRequestMsg:
     """Client -> leader request envelope (MAC-authenticated channel)."""
@@ -64,6 +72,7 @@ class ClientRequestMsg:
     request: Request
 
 
+@register_modeled
 @dataclass(frozen=True)
 class GenericReply:
     """Replica -> client reply, protocol-agnostic."""
@@ -78,6 +87,7 @@ class GenericReply:
     size_bytes: int = 0
 
 
+@register_modeled
 @dataclass(frozen=True)
 class SyncRequest:
     """Recovering/lagging replica -> peers: send me what I missed."""
@@ -86,6 +96,7 @@ class SyncRequest:
     executed_upto: int
 
 
+@register_modeled
 @dataclass(frozen=True)
 class SyncReply:
     """Peer -> recovering replica: committed suffix plus, when the
@@ -170,11 +181,12 @@ class BaselineReplica(ReplicaBase):
         cached = self._last_reply.get(request.client)
         if cached is not None and cached.timestamp >= request.timestamp:
             if cached.timestamp == request.timestamp:
-                self.send(f"c{request.client}", cached,
-                          size_bytes=cached.size_bytes)
+                self.send_authenticated(f"c{request.client}", cached,
+                                        size_bytes=cached.size_bytes)
             return
-        self.send(f"r{self.leader_id}", ClientRequestMsg(request),
-                  size_bytes=request.size_bytes)
+        self.send_authenticated(f"r{self.leader_id}",
+                                ClientRequestMsg(request),
+                                size_bytes=request.size_bytes)
         if self.supports_view_change() and not self._election_timer.armed:
             self._election_timer.start(self.config.request_retransmit_ms)
 
@@ -185,8 +197,8 @@ class BaselineReplica(ReplicaBase):
         cached = self._last_reply.get(request.client)
         if cached is not None and cached.timestamp >= request.timestamp:
             if cached.timestamp == request.timestamp:
-                self.send(f"c{request.client}", cached,
-                          size_bytes=cached.size_bytes)
+                self.send_authenticated(f"c{request.client}", cached,
+                                        size_bytes=cached.size_bytes)
             return
         if request.rid in self._seen_requests:
             return
@@ -254,15 +266,17 @@ class BaselineReplica(ReplicaBase):
                          results: List[Any]) -> None:
         """Send one MAC-authenticated reply per request in the batch."""
         for request, result in zip(batch, results):
-            self.cpu.charge_mac(64)
+            # 64 nominal reply bytes: keeps the sender's modeled MAC cost
+            # at the seed's charge_mac(64) (the policy charges over
+            # size_bytes) and puts an honest reply size on the wire.
             reply = GenericReply(
                 replica=self.replica_id, view=self.view, seqno=seqno,
                 timestamp=request.timestamp, client=request.client,
                 result=result, result_digest=digest_of(result),
-                size_bytes=0)
+                size_bytes=64)
             self._last_reply[request.client] = reply
-            self.send(f"c{request.client}", reply,
-                      size_bytes=reply.size_bytes)
+            self.send_authenticated(f"c{request.client}", reply,
+                                    size_bytes=reply.size_bytes)
 
     def batch_digest(self, batch: Batch) -> Digest:
         """Digest over the signed request bodies of a batch, charging CPU."""
@@ -330,9 +344,8 @@ class BaselineReplica(ReplicaBase):
         self.elections_started += 1
         message = self.make_view_change(target)
         size = self.view_change_size(message)
-        peers = self.other_replica_names()
-        self.cpu.charge_macs(len(peers), size)
-        self.multicast(peers, message, size_bytes=size)
+        self.multicast_authenticated(self.other_replica_names(), message,
+                                     size_bytes=size)
         self._note_view_change(self.replica_id, target, message)
         # If this campaign stalls (its leader may be down too), escalate
         # to the next view on expiry.
@@ -408,8 +421,9 @@ class BaselineReplica(ReplicaBase):
             pending, self._pending_requests = self._pending_requests, []
             for request in pending:
                 self._seen_requests.discard(request.rid)
-                self.send(f"r{self.leader_id}", ClientRequestMsg(request),
-                          size_bytes=request.size_bytes)
+                self.send_authenticated(f"r{self.leader_id}",
+                                        ClientRequestMsg(request),
+                                        size_bytes=request.size_bytes)
         self.on_enter_view(view)
 
     # -- recovery and catch-up --------------------------------------------
@@ -417,16 +431,15 @@ class BaselineReplica(ReplicaBase):
         """Rejoin after a crash: ask the peers for the current view and
         the committed suffix we missed."""
         super().recover()
-        peers = self.other_replica_names()
-        self.cpu.charge_macs(len(peers), 16)
-        self.multicast(peers, SyncRequest(self.replica_id, self.ex),
-                       size_bytes=16)
+        self.multicast_authenticated(self.other_replica_names(),
+                                     SyncRequest(self.replica_id, self.ex),
+                                     size_bytes=16)
 
     def request_sync(self, peer: int) -> None:
         """Ask one peer for the committed suffix above our horizon."""
-        self.cpu.charge_mac(16)
-        self.send(f"r{peer}", SyncRequest(self.replica_id, self.ex),
-                  size_bytes=16)
+        self.send_authenticated(f"r{peer}",
+                                SyncRequest(self.replica_id, self.ex),
+                                size_bytes=16)
 
     def _on_sync_request(self, m: SyncRequest) -> None:
         entries = tuple((sn, entry.batch)
@@ -434,11 +447,11 @@ class BaselineReplica(ReplicaBase):
                         if sn > m.executed_upto)
         snapshot = self.app.snapshot() if self.ex > m.executed_upto else None
         size = sum(batch.size_bytes for _, batch in entries) + 64
-        self.cpu.charge_mac(size)
-        self.send(f"r{m.sender}",
-                  SyncReply(self.replica_id, self.view, self.ex, snapshot,
-                            entries),
-                  size_bytes=size)
+        self.send_authenticated(
+            f"r{m.sender}",
+            SyncReply(self.replica_id, self.view, self.ex, snapshot,
+                      entries),
+            size_bytes=size)
 
     def _on_sync_reply(self, m: SyncReply) -> None:
         self.cpu.charge_mac(64)
@@ -503,14 +516,14 @@ class QuorumClient(SmrClientBase):
             raise RuntimeError(
                 f"client {self.client_id} already has a request in flight")
         ts = self.next_timestamp()
-        self.cpu.charge_mac(size_bytes)
         request = Request(op=op, timestamp=ts, client=self.client_id,
                           size_bytes=size_bytes, signature=None)
         self._request = request
         self._sent_at = self.sim.now
         self._replies.clear()
-        self.send(self.leader_name(), ClientRequestMsg(request),
-                  size_bytes=size_bytes)
+        self.send_authenticated(self.leader_name(),
+                                ClientRequestMsg(request),
+                                size_bytes=size_bytes)
         self._timer.start(self.config.request_retransmit_ms)
         return request
 
@@ -549,7 +562,7 @@ class QuorumClient(SmrClientBase):
         self.timeouts += 1
         # Re-send to every replica; the leader deduplicates.
         assert self.config.n is not None
-        self.multicast([f"r{r}" for r in range(self.config.n)],
-                       ClientRequestMsg(request),
-                       size_bytes=request.size_bytes)
+        self.multicast_authenticated(
+            [f"r{r}" for r in range(self.config.n)],
+            ClientRequestMsg(request), size_bytes=request.size_bytes)
         self._timer.start(self.config.request_retransmit_ms)

@@ -29,10 +29,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica
+from repro.protocols.base import BaselineReplica, register_modeled
 from repro.smr.messages import Batch
 
 
+@register_modeled
 @dataclass(frozen=True)
 class Accept:
     """Leader -> acceptor: order ``batch`` at ``seqno`` (phase 2a)."""
@@ -43,6 +44,7 @@ class Accept:
     batch_digest: Digest
 
 
+@register_modeled
 @dataclass(frozen=True)
 class Accepted:
     """Acceptor -> leader: phase-2b acknowledgement."""
@@ -53,6 +55,7 @@ class Accepted:
     sender: int
 
 
+@register_modeled
 @dataclass(frozen=True)
 class Learn:
     """Leader -> passive replicas: the decided batch (lazy propagation)."""
@@ -62,6 +65,7 @@ class Learn:
     batch: Batch
 
 
+@register_modeled
 @dataclass(frozen=True)
 class NewBallot:
     """Prospective leader -> all: phase 1a for ballot ``view``."""
@@ -70,6 +74,7 @@ class NewBallot:
     sender: int
 
 
+@register_modeled
 @dataclass(frozen=True)
 class Promise:
     """Replica -> prospective leader: phase 1b.
@@ -141,8 +146,8 @@ class PaxosReplica(BaselineReplica):
         self._accepted[seqno] = (self.view, batch)
         accept = Accept(self.view, seqno, batch, digest)
         acceptors = [f"r{a}" for a in self.common_case_acceptors()]
-        self.cpu.charge_macs(len(acceptors), batch.size_bytes)
-        self.multicast(acceptors, accept, size_bytes=batch.size_bytes)
+        self.multicast_authenticated(acceptors, accept,
+                                     size_bytes=batch.size_bytes)
 
     def _on_accept(self, src: str, m: Accept) -> None:
         if m.view < self.view:
@@ -155,9 +160,10 @@ class PaxosReplica(BaselineReplica):
         # Acceptors execute on accept: the stable leader's order is
         # authoritative in the common case.
         self.commit_batch(m.seqno, m.batch)
-        self.send(f"r{self.leader_id}",
-                  Accepted(m.view, m.seqno, m.batch_digest, self.replica_id),
-                  size_bytes=48)
+        self.send_authenticated(
+            f"r{self.leader_id}",
+            Accepted(m.view, m.seqno, m.batch_digest, self.replica_id),
+            size_bytes=48)
 
     def _on_accepted(self, m: Accepted) -> None:
         if m.view != self.view or not self.is_leader:
@@ -175,8 +181,8 @@ class PaxosReplica(BaselineReplica):
             self.commit_batch(m.seqno, batch)
             learn = Learn(self.view, m.seqno, batch)
             passives = [f"r{p}" for p in self.passive_ids()]
-            self.cpu.charge_macs(len(passives), batch.size_bytes)
-            self.multicast(passives, learn, size_bytes=batch.size_bytes)
+            self.multicast_authenticated(passives, learn,
+                                         size_bytes=batch.size_bytes)
 
     def _on_learn(self, m: Learn) -> None:
         self.cpu.charge_mac(m.batch.size_bytes)
@@ -225,12 +231,8 @@ class PaxosReplica(BaselineReplica):
         self._pending_ballot = ballot
         self._promises = {}
         message = NewBallot(ballot, self.replica_id)
-        for replica in range(self.config.n):
-            if replica == self.replica_id:
-                self._on_new_ballot(message)
-            else:
-                self.cpu.charge_mac(32)
-                self.send(f"r{replica}", message, size_bytes=32)
+        self._fanout_with_self(self.all_replica_names(), message, 32,
+                               lambda: self._on_new_ballot(message))
         # If the campaign stalls (e.g. competing ballots), try again.
         self._election_timer.start(2 * self.config.request_retransmit_ms)
 
@@ -262,8 +264,7 @@ class PaxosReplica(BaselineReplica):
         if m.sender == self.replica_id:
             self._on_promise(promise)
         else:
-            self.cpu.charge_mac(128)
-            self.send(f"r{m.sender}", promise, size_bytes=256)
+            self.send_authenticated(f"r{m.sender}", promise, size_bytes=256)
 
     def _on_promise(self, m: Promise) -> None:
         if self._pending_ballot is None or m.view != self._pending_ballot:

@@ -33,11 +33,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica
+from repro.protocols.base import BaselineReplica, register_modeled
 from repro.smr.log import CommitEntry
 from repro.smr.messages import Batch
 
 
+@register_modeled
 @dataclass(frozen=True)
 class PrePrepare:
     """Primary -> active replicas: speculative ordering of a batch."""
@@ -48,6 +49,7 @@ class PrePrepare:
     batch_digest: Digest
 
 
+@register_modeled
 @dataclass(frozen=True)
 class CommitMsg:
     """Active replica -> active replicas: second-phase vote."""
@@ -58,6 +60,7 @@ class CommitMsg:
     sender: int
 
 
+@register_modeled
 @dataclass(frozen=True)
 class ViewChange:
     """Suspecting replica -> all: recovery state for ``view``.
@@ -74,6 +77,7 @@ class ViewChange:
     prepared: Tuple[Tuple[int, Digest, Batch], ...]
 
 
+@register_modeled
 @dataclass(frozen=True)
 class NewView:
     """New primary -> all: the view is installed; adopt the merged
@@ -136,8 +140,8 @@ class PbftReplica(BaselineReplica):
         pre_prepare = PrePrepare(self.view, seqno, batch, digest)
         peers = [f"r{a}" for a in self.active_ids()
                  if a != self.replica_id]
-        self.cpu.charge_macs(len(peers), batch.size_bytes)
-        self.multicast(peers, pre_prepare, size_bytes=batch.size_bytes)
+        self.multicast_authenticated(peers, pre_prepare,
+                                     size_bytes=batch.size_bytes)
         self._vote(seqno, digest)
 
     def _on_pre_prepare(self, src: str, m: PrePrepare) -> None:
@@ -155,19 +159,11 @@ class PbftReplica(BaselineReplica):
 
     def _vote(self, seqno: int, digest: Digest) -> None:
         vote = CommitMsg(self.view, seqno, digest, self.replica_id)
-        # Our own vote is recorded at this replica's position in the active
-        # list, so the send order (and latency draw order) matches a
-        # sequential per-peer loop exactly.
-        me = self.replica_id
-        actives = self.active_ids()
-        position = actives.index(me)
-        before = [f"r{a}" for a in actives[:position]]
-        after = [f"r{a}" for a in actives[position + 1:]]
-        self.cpu.charge_macs(len(before), 48)
-        self.multicast(before, vote, size_bytes=48)
-        self._record_vote(vote)
-        self.cpu.charge_macs(len(after), 48)
-        self.multicast(after, vote, size_bytes=48)
+        # Our own vote is recorded at this replica's position in the
+        # active list (see ReplicaBase._fanout_with_self).
+        self._fanout_with_self([f"r{a}" for a in self.active_ids()],
+                               vote, 48,
+                               lambda: self._record_vote(vote))
 
     def _on_commit(self, m: CommitMsg) -> None:
         # Votes from views ahead of ours are kept: they are keyed by
@@ -256,10 +252,9 @@ class PbftReplica(BaselineReplica):
         self.execute_ready()
         announcement = NewView(target, self.replica_id, self.ex,
                                tuple(sorted(committed.items())))
-        peers = self.other_replica_names()
         size = sum(b.size_bytes for b in committed.values()) + 128
-        self.cpu.charge_macs(len(peers), size)
-        self.multicast(peers, announcement, size_bytes=size)
+        self.multicast_authenticated(self.other_replica_names(),
+                                     announcement, size_bytes=size)
         # Continue numbering above everything the old views touched, and
         # re-propose the carried-over prepared certificates in this view.
         top = max(self.sn, self.ex,

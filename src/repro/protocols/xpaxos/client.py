@@ -73,8 +73,8 @@ class XPaxosClient(SmrClientBase):
                           size_bytes=size_bytes, signature=sig)
         self._outstanding = _Outstanding(request=request, sent_at=self.sim.now)
         primary = self.groups.primary(self.view)
-        self.send(f"r{primary}", msg.Replicate(request),
-                  size_bytes=size_bytes)
+        self.send_authenticated(f"r{primary}", msg.Replicate(request),
+                                size_bytes=size_bytes)
         self._timer.start(self.config.request_retransmit_ms)
         return request
 
@@ -93,13 +93,10 @@ class XPaxosClient(SmrClientBase):
             self._on_suspect(payload)
 
     def _on_reply(self, reply: msg.ReplyMsg) -> None:
+        # The reply's channel MAC was stamped and verified by the
+        # transport (MAC_VECTOR policy); only content checks remain here.
         out = self._outstanding
         if out is None or reply.timestamp != out.request.timestamp:
-            return
-        body = (reply.replica, reply.view, reply.seqno, reply.timestamp,
-                reply.client, reply.result_digest)
-        self.cpu.charge_mac(64)
-        if not self.keystore.verify_mac(reply.mac, body):
             return
         if reply.view > self.view:
             self.view = reply.view
@@ -193,11 +190,12 @@ class XPaxosClient(SmrClientBase):
         if out is None:
             return
         # Forward the suspicion to the new actives and re-send the request.
-        self.multicast([f"r{r}" for r in self.groups.group(self.view)],
-                       suspect, size_bytes=48)
+        self.multicast_authenticated(
+            [f"r{r}" for r in self.groups.group(self.view)],
+            suspect, size_bytes=48)
         primary = self.groups.primary(self.view)
-        self.send(f"r{primary}", msg.Replicate(out.request),
-                  size_bytes=out.request.size_bytes)
+        self.send_authenticated(f"r{primary}", msg.Replicate(out.request),
+                                size_bytes=out.request.size_bytes)
         self._timer.start(self.config.request_retransmit_ms)
 
     # ------------------------------------------------------------------
@@ -222,9 +220,9 @@ class XPaxosClient(SmrClientBase):
             return
         self.timeouts += 1
         out.retries += 1
-        self.multicast([f"r{r}" for r in self.groups.group(self.view)],
-                       msg.ReSend(out.request),
-                       size_bytes=out.request.size_bytes)
+        self.multicast_authenticated(
+            [f"r{r}" for r in self.groups.group(self.view)],
+            msg.ReSend(out.request), size_bytes=out.request.size_bytes)
         backoff = (2.0 if out.retries > 1 else 1.0) \
             * self.config.request_retransmit_ms
         self._timer.start(backoff)

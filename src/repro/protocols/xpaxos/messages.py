@@ -1,8 +1,13 @@
 """Every wire message of XPaxos.
 
 Naming follows the paper's pseudocode (Appendix B).  All inter-replica
-messages carry digital signatures; client-bound replies carry MACs plus --
-in the ``t = 1`` fast path -- the follower's signed commit message ``m1``.
+messages carry digital signatures *in their payloads* and therefore need
+no transport authenticator (:data:`~repro.crypto.authenticators.NULL`).
+The two MAC-authenticated channels -- client-bound replies and the
+active-to-active ``PRECHK`` exchange -- use the transport-level
+:data:`~repro.crypto.authenticators.MAC_VECTOR` policy: the per-receiver
+MAC is stamped by the network at delivery fan-out time instead of being
+embedded in the payload, so these fan-outs ride the multicast fast path.
 
 Signed payloads are tuples built by the ``*_payload`` helpers so that signer
 and verifier hash exactly the same bytes.
@@ -13,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.crypto.primitives import Digest, Mac, Signature
+from repro.crypto.authenticators import MAC_VECTOR, NULL, register
+from repro.crypto.primitives import Digest, Signature
 from repro.smr.log import CommitEntry, PrepareEntry
 from repro.smr.messages import Batch, Request
 
@@ -159,7 +165,7 @@ class FastCommit:
 
 @dataclass(frozen=True)
 class ReplyMsg:
-    """Active replica -> client.
+    """Active replica -> client (channel MAC stamped by the transport).
 
     ``result`` is the full application reply from the primary and ``None``
     (digest only) from followers.  In the t = 1 pattern the primary's reply
@@ -174,7 +180,6 @@ class ReplyMsg:
     client: int
     result: Any
     result_digest: Digest
-    mac: Mac
     follower_commit: Optional[FastCommit] = None
     size_bytes: int = 0
 
@@ -280,13 +285,13 @@ class FaultAccusation:
 
 @dataclass(frozen=True)
 class PreChk:
-    """``<PRECHK, sn, i, D(st), sj>`` with a MAC (cheap, active-to-active)."""
+    """``<PRECHK, sn, i, D(st), sj>`` on the cheap active-to-active
+    MAC channel; the per-receiver MAC is stamped by the transport."""
 
     seqno: int
     view: int
     state_digest: bytes
     sender: int
-    mac: Mac
 
 
 @dataclass(frozen=True)
@@ -371,3 +376,21 @@ class SignedReplies:
 
     view: int
     shares: Tuple[SignedReplyShare, ...]
+
+
+# ---------------------------------------------------------------------------
+# Transport authenticator policies per message class
+# ---------------------------------------------------------------------------
+
+#: MAC-vector channels: the paper's HMAC-authenticated paths.
+register(ReplyMsg, MAC_VECTOR)
+register(PreChk, MAC_VECTOR)
+
+#: Everything else embeds digital signatures in the payload (or forwards
+#: signed material) -- the transport adds nothing.
+for _cls in (Replicate, Prepare, CommitVote, FastPrepare, FastCommit,
+             Suspect, ViewChange, VcFinal, VcConfirm, NewView,
+             FaultAccusation, Chkpt, LazyChk, LazyCommit, FetchEntries,
+             FetchReply, ReSend, SignedReplyShare, SignedReplies):
+    register(_cls, NULL)
+del _cls

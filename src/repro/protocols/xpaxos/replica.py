@@ -28,7 +28,6 @@ from repro.crypto.costs import CostModel
 from repro.crypto.primitives import (
     Digest,
     KeyStore,
-    client_principal,
     digest_of,
     replica_principal,
 )
@@ -230,8 +229,8 @@ class XPaxosReplica(ReplicaBase):
     def _resend_cached_reply(self, request: Request) -> None:
         cached = self._last_reply.get(request.client)
         if cached is not None and cached.timestamp == request.timestamp:
-            self.send(f"c{request.client}", cached,
-                      size_bytes=cached.size_bytes)
+            self.send_authenticated(f"c{request.client}", cached,
+                                    size_bytes=cached.size_bytes)
 
     def _flush_batch(self) -> None:
         """Form a batch from pending requests and start ordering it."""
@@ -259,7 +258,7 @@ class XPaxosReplica(ReplicaBase):
         entry = PrepareEntry(seqno, self.view, batch, sig)
         self.prepare_log.put(seqno, entry)
         prepare = msg.Prepare(self.view, seqno, batch, batch_digest, sig)
-        self.multicast(
+        self.multicast_authenticated(
             [self.replica_name(f) for f in self.groups.followers(self.view)],
             prepare, size_bytes=batch.size_bytes)
 
@@ -310,11 +309,8 @@ class XPaxosReplica(ReplicaBase):
                               self.replica_id, sig)
         # Record our own vote at this replica's position in the active list
         # so the send (and latency draw) order matches a sequential loop.
-        names = self._active_names()
-        me = names.index(self.name)
-        self.multicast(names[:me], vote, size_bytes=64)
-        self._record_commit_vote(vote)
-        self.multicast(names[me + 1:], vote, size_bytes=64)
+        self._fanout_with_self(self._active_names(), vote, 64,
+                               lambda: self._record_commit_vote(vote))
 
     def _on_commit_vote(self, src: str, m: msg.CommitVote) -> None:
         if self.config.t == 1:
@@ -367,8 +363,8 @@ class XPaxosReplica(ReplicaBase):
         self.prepare_log.put(seqno, entry)
         fast = msg.FastPrepare(self.view, seqno, batch, batch_digest, m0)
         follower = self.groups.followers(self.view)[0]
-        self.send(self.replica_name(follower), fast,
-                  size_bytes=batch.size_bytes)
+        self.send_authenticated(self.replica_name(follower), fast,
+                                size_bytes=batch.size_bytes)
 
     def _on_fast_prepare(self, src: str, m: msg.FastPrepare) -> None:
         if self.config.t != 1:
@@ -419,7 +415,8 @@ class XPaxosReplica(ReplicaBase):
         fast_commit = msg.FastCommit(m.view, m.seqno, m.batch_digest,
                                      reply_digest, m1)
         primary = self.groups.primary(self.view)
-        self.send(self.replica_name(primary), fast_commit, size_bytes=96)
+        self.send_authenticated(self.replica_name(primary), fast_commit,
+                                size_bytes=96)
         self._lazy_replicate(entry)
         self._maybe_checkpoint(m.seqno)
 
@@ -485,13 +482,10 @@ class XPaxosReplica(ReplicaBase):
         without sending anything to clients."""
         for request, result in zip(batch, results):
             reply_digest = digest_of(result)
-            body = (self.replica_id, self.view, seqno, request.timestamp,
-                    request.client, reply_digest)
-            mac = self.mac_for(client_principal(request.client), body)
             self._last_reply[request.client] = msg.ReplyMsg(
                 replica=self.replica_id, view=self.view, seqno=seqno,
                 timestamp=request.timestamp, client=request.client,
-                result=result, result_digest=reply_digest, mac=mac)
+                result=result, result_digest=reply_digest)
             if request.rid in self._retransmissions:
                 self._emit_signed_reply_share(request)
 
@@ -509,14 +503,11 @@ class XPaxosReplica(ReplicaBase):
         for request, result in zip(entry.batch, results):
             reply_digest = digest_of(result)
             full = self.is_primary
-            body = (self.replica_id, self.view, seqno, request.timestamp,
-                    request.client, reply_digest)
-            mac = self.mac_for(client_principal(request.client), body)
             reply = msg.ReplyMsg(
                 replica=self.replica_id, view=self.view, seqno=seqno,
                 timestamp=request.timestamp, client=request.client,
                 result=result if full else None,
-                result_digest=reply_digest, mac=mac,
+                result_digest=reply_digest,
                 follower_commit=fast,
                 size_bytes=(getattr(result, "__len__", lambda: 0)()
                             if full else 32),
@@ -527,8 +518,8 @@ class XPaxosReplica(ReplicaBase):
             # t = 1: only the primary replies (the reply carries m1).
             if self.config.t == 1 and not self.is_primary:
                 continue
-            self.send(f"c{request.client}", reply,
-                      size_bytes=reply.size_bytes)
+            self.send_authenticated(f"c{request.client}", reply,
+                                    size_bytes=reply.size_bytes)
 
     def _batch_digest(self, batch: Batch) -> Digest:
         self.cpu.charge_digest(batch.size_bytes)
@@ -546,7 +537,8 @@ class XPaxosReplica(ReplicaBase):
         self._suspected_views.add(view)
         sig = self.sign(msg.suspect_payload(view, self.replica_id))
         suspect = msg.Suspect(view, self.replica_id, sig)
-        self.multicast(self.other_replica_names(), suspect, size_bytes=48)
+        self.multicast_authenticated(self.other_replica_names(), suspect,
+                                     size_bytes=48)
         self._process_suspect(suspect)
 
     def _on_suspect(self, src: str, m: msg.Suspect) -> None:
@@ -560,7 +552,7 @@ class XPaxosReplica(ReplicaBase):
         key = (m.view, m.sender)
         if key not in self._forwarded_suspects:
             self._forwarded_suspects.add(key)
-            self.multicast(
+            self.multicast_authenticated(
                 [n for n in self.all_replica_names()
                  if n != self.name and n != src],
                 m, size_bytes=48)
@@ -591,11 +583,9 @@ class XPaxosReplica(ReplicaBase):
                 state.timer.start(4 * self.config.delta_ms
                                   + 8 * self.config.batch_timeout_ms)
         vc = self._build_view_change(new_view)
-        for name in self._active_names(new_view):
-            if name == self.name:
-                self._record_view_change(vc)
-            else:
-                self.send(name, vc, size_bytes=self._vc_size(vc))
+        self._fanout_with_self(self._active_names(new_view), vc,
+                               self._vc_size(vc),
+                               lambda: self._record_view_change(vc))
         if self.groups.is_active(new_view, self.replica_id):
             self._vc.setdefault(new_view, _ViewChangeState())
             self._net_timer.start(2 * self.config.delta_ms)
@@ -620,8 +610,8 @@ class XPaxosReplica(ReplicaBase):
                 or self.groups.is_active(self.view, self.replica_id):
             return
         vc = self._build_view_change(self.view)
-        for name in self._active_names(self.view):
-            self.send(name, vc, size_bytes=self._vc_size(vc))
+        self.multicast_authenticated(self._active_names(self.view), vc,
+                                     size_bytes=self._vc_size(vc))
         self._vc_retx_timer.start(self.config.view_change_timeout_ms)
 
     def _build_view_change(self, new_view: int) -> msg.ViewChange:
@@ -707,11 +697,8 @@ class XPaxosReplica(ReplicaBase):
                                              vcset_digest))
         final = msg.VcFinal(new_view, self.replica_id, vcset, vcset_digest,
                             sig)
-        for name in self._active_names(new_view):
-            if name == self.name:
-                self._record_vc_final(final)
-            else:
-                self.send(name, final, size_bytes=256)
+        self._fanout_with_self(self._active_names(new_view), final, 256,
+                               lambda: self._record_vc_final(final))
 
     def _on_vc_final(self, src: str, m: msg.VcFinal) -> None:
         if m.new_view != self.view:
@@ -764,11 +751,8 @@ class XPaxosReplica(ReplicaBase):
         sig = self.sign(msg.vc_confirm_payload(new_view, self.replica_id,
                                                vcset_digest))
         confirm = msg.VcConfirm(new_view, self.replica_id, vcset_digest, sig)
-        for name in self._active_names(new_view):
-            if name == self.name:
-                self._record_vc_confirm(confirm)
-            else:
-                self.send(name, confirm, size_bytes=96)
+        self._fanout_with_self(self._active_names(new_view), confirm, 96,
+                               lambda: self._record_vc_confirm(confirm))
 
     def _on_vc_confirm(self, src: str, m: msg.VcConfirm) -> None:
         if m.new_view != self.view:
@@ -819,11 +803,9 @@ class XPaxosReplica(ReplicaBase):
                                                  digest_of(entries_tuple)))
             new_view_msg = msg.NewView(new_view, entries_tuple, checkpoint,
                                        sig)
-            for name in self._active_names(new_view):
-                if name == self.name:
-                    self._adopt_new_view(new_view_msg, selection)
-                else:
-                    self.send(name, new_view_msg, size_bytes=1024)
+            self._fanout_with_self(
+                self._active_names(new_view), new_view_msg, 1024,
+                lambda: self._adopt_new_view(new_view_msg, selection))
         # Followers wait for the primary's NEW-VIEW; _vc_timer still runs.
         self._pending_selection = (new_view, selection, checkpoint)
 
@@ -995,23 +977,21 @@ class XPaxosReplica(ReplicaBase):
         if not self.is_active:
             return
         state_digest = self.app.state_digest()
-        body = ("prechk", seqno, self.view, state_digest, self.replica_id)
-        for name in self._active_names():
-            if name == self.name:
-                self._record_prechk(seqno, self.replica_id, state_digest)
-            else:
-                mac = self.mac_for(name, body)
-                self.send(name, msg.PreChk(seqno, self.view, state_digest,
-                                           self.replica_id, mac),
-                          size_bytes=64)
+        prechk = msg.PreChk(seqno, self.view, state_digest, self.replica_id)
+        # 44 payload bytes + the 20-byte transport MAC = the 64 bytes the
+        # embedded-MAC encoding used to put on the wire.
+        self._fanout_with_self(
+            self._active_names(), prechk, 44,
+            lambda: self._record_prechk(seqno, self.replica_id,
+                                        state_digest))
 
     def _on_prechk(self, src: str, m: msg.PreChk) -> None:
+        # The channel MAC was stamped and verified by the transport
+        # (MAC_VECTOR policy): a forged or tampered PRECHK never gets here.
         if m.view != self.view or not self.is_active:
             return
-        body = ("prechk", m.seqno, m.view, m.state_digest, m.sender)
-        self.cpu.charge_mac(64)
-        if not self.keystore.verify_mac(m.mac, body):
-            return
+        if src != self.replica_name(m.sender):
+            return  # a replica cannot inject PreChk votes for a peer
         self._record_prechk(m.seqno, m.sender, m.state_digest)
 
     def _record_prechk(self, seqno: int, sender: int,
@@ -1032,11 +1012,8 @@ class XPaxosReplica(ReplicaBase):
         sig = self.sign(msg.chkpt_payload(seqno, self.view, my_digest,
                                           self.replica_id))
         chkpt = msg.Chkpt(seqno, self.view, my_digest, self.replica_id, sig)
-        for name in self._active_names():
-            if name == self.name:
-                self._record_chkpt(chkpt)
-            else:
-                self.send(name, chkpt, size_bytes=96)
+        self._fanout_with_self(self._active_names(), chkpt, 96,
+                               lambda: self._record_chkpt(chkpt))
 
     def _on_chkpt(self, src: str, m: msg.Chkpt) -> None:
         if m.view != self.view or not self.is_active:
@@ -1069,8 +1046,8 @@ class XPaxosReplica(ReplicaBase):
                               if sn > m.seqno}
         self._chkpt_sigs = {sn: v for sn, v in self._chkpt_sigs.items()
                             if sn > m.seqno}
-        for name in self._passive_names():
-            self.send(name, msg.LazyChk(proof), size_bytes=512)
+        self.multicast_authenticated(self._passive_names(),
+                                     msg.LazyChk(proof), size_bytes=512)
 
     def _on_lazychk(self, src: str, m: msg.LazyChk) -> None:
         proof = m.proof
@@ -1108,9 +1085,9 @@ class XPaxosReplica(ReplicaBase):
                 if self.replica_id in followers else 0
             targets = (passive[index % len(passive)],)
         lazy = msg.LazyCommit(self.view, entry.seqno, entry)
-        for target in targets:
-            self.send(self.replica_name(target), lazy,
-                      size_bytes=entry.batch.size_bytes)
+        self.multicast_authenticated(
+            [self.replica_name(target) for target in targets], lazy,
+            size_bytes=entry.batch.size_bytes)
 
     def _on_lazy_commit(self, src: str, m: msg.LazyCommit) -> None:
         # A passive replica that entered a view it is not active in never
@@ -1140,9 +1117,9 @@ class XPaxosReplica(ReplicaBase):
             return
         self._fetch_pending = True
         request = msg.FetchEntries(from_seqno, to_seqno, self.replica_id)
-        for name in self._active_names():
-            if name != self.name:
-                self.send(name, request, size_bytes=48)
+        self.multicast_authenticated(
+            [name for name in self._active_names() if name != self.name],
+            request, size_bytes=48)
         # Allow a re-fetch if the reply is lost.
         self.after(2 * self.config.delta_ms, self._clear_fetch_pending,
                    label="fetch-retry")
@@ -1158,7 +1135,7 @@ class XPaxosReplica(ReplicaBase):
                 entries.append(entry)
         reply = msg.FetchReply(tuple(entries), self.stable_checkpoint)
         size = sum(e.batch.size_bytes for e in entries) + 64
-        self.send(src, reply, size_bytes=size)
+        self.send_authenticated(src, reply, size_bytes=size)
 
     def _on_fetch_reply(self, src: str, m: msg.FetchReply) -> None:
         self._fetch_pending = False
@@ -1195,9 +1172,9 @@ class XPaxosReplica(ReplicaBase):
             self._start_retransmission(request, already_executed=True)
             return
         if not self.is_primary:
-            self.send(self.replica_name(self.groups.primary(self.view)),
-                      msg.Replicate(request),
-                      size_bytes=request.size_bytes)
+            self.send_authenticated(
+                self.replica_name(self.groups.primary(self.view)),
+                msg.Replicate(request), size_bytes=request.size_bytes)
         else:
             self._on_replicate(src, msg.Replicate(request))
         self._start_retransmission(request, already_executed=False)
@@ -1241,11 +1218,9 @@ class XPaxosReplica(ReplicaBase):
             view=self.view, seqno=cached.seqno, timestamp=cached.timestamp,
             client=cached.client, reply_digest=cached.result_digest,
             result=cached.result, sender=self.replica_id, sig=sig)
-        for name in self._active_names():
-            if name == self.name:
-                self._on_signed_reply_share(self.name, share)
-            else:
-                self.send(name, share, size_bytes=96)
+        self._fanout_with_self(
+            self._active_names(), share, 96,
+            lambda: self._on_signed_reply_share(self.name, share))
 
     def _on_signed_reply_share(self, src: str,
                                m: msg.SignedReplyShare) -> None:
@@ -1285,7 +1260,7 @@ class XPaxosReplica(ReplicaBase):
                 view=self.view,
                 shares=tuple(sorted(matching, key=lambda s: s.sender)
                              [: self.config.t + 1]))
-            self.send(f"c{m.client}", bundle, size_bytes=256)
+            self.send_authenticated(f"c{m.client}", bundle, size_bytes=256)
 
     def _settle_retransmission(self, rid: tuple) -> None:
         """Mark a retransmission as resolved and disarm its timer."""
@@ -1322,8 +1297,9 @@ class XPaxosReplica(ReplicaBase):
         self.suspect_view(view)
         sig_payload = msg.suspect_payload(view, self.replica_id)
         sig = self.keystore.sign(self.principal, sig_payload)
-        self.send(f"c{state.request.client}",
-                  msg.Suspect(view, self.replica_id, sig), size_bytes=48)
+        self.send_authenticated(f"c{state.request.client}",
+                                msg.Suspect(view, self.replica_id, sig),
+                                size_bytes=48)
 
     # ==================================================================
     # Fault accusations (Algorithm 6 lines 17-18)
@@ -1332,7 +1308,7 @@ class XPaxosReplica(ReplicaBase):
         if m.accused in self.detected_faulty:
             return
         self.detected_faulty.add(m.accused)
-        self.multicast(
+        self.multicast_authenticated(
             [n for n in self.all_replica_names()
              if n != self.name and n != src],
             m, size_bytes=256)
@@ -1340,8 +1316,8 @@ class XPaxosReplica(ReplicaBase):
     def broadcast_accusation(self, accusation: msg.FaultAccusation) -> None:
         """Broadcast a fault-detection accusation to every replica."""
         self.detected_faulty.add(accusation.accused)
-        self.multicast(self.other_replica_names(), accusation,
-                       size_bytes=256)
+        self.multicast_authenticated(self.other_replica_names(), accusation,
+                                     size_bytes=256)
 
     # ==================================================================
     # Crash / recovery

@@ -31,10 +31,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Set, Tuple
 
 from repro.crypto.primitives import digest_of
-from repro.protocols.base import BaselineReplica, GenericReply
+from repro.protocols.base import BaselineReplica, GenericReply, \
+    register_modeled
 from repro.smr.messages import Batch
 
 
+@register_modeled
 @dataclass(frozen=True)
 class Proposal:
     """Leader -> followers: a proposed transaction (zxid = seqno here)."""
@@ -44,6 +46,7 @@ class Proposal:
     batch: Batch
 
 
+@register_modeled
 @dataclass(frozen=True)
 class Ack:
     """Follower -> leader: proposal durably logged."""
@@ -53,6 +56,7 @@ class Ack:
     sender: int
 
 
+@register_modeled
 @dataclass(frozen=True)
 class CommitZab:
     """Leader -> followers: deliver the transaction."""
@@ -61,6 +65,7 @@ class CommitZab:
     seqno: int
 
 
+@register_modeled
 @dataclass(frozen=True)
 class FollowerInfo:
     """Suspecting replica -> all: acked history for the target epoch.
@@ -75,6 +80,7 @@ class FollowerInfo:
     entries: Tuple[Tuple[int, int, Batch], ...]
 
 
+@register_modeled
 @dataclass(frozen=True)
 class NewEpoch:
     """New leader -> all: the epoch is installed; history follows as
@@ -125,8 +131,8 @@ class ZabReplica(BaselineReplica):
         # The leader ships the full payload to ALL followers -- the
         # bandwidth profile that caps Zab's peak throughput in Figure 10.
         followers = [f"r{f}" for f in self.follower_ids()]
-        self.cpu.charge_macs(len(followers), batch.size_bytes)
-        self.multicast(followers, proposal, size_bytes=batch.size_bytes)
+        self.multicast_authenticated(followers, proposal,
+                                     size_bytes=batch.size_bytes)
 
     def _on_proposal(self, src: str, m: Proposal) -> None:
         if m.epoch > self.view and src == f"r{self.new_leader_of(m.epoch)}":
@@ -137,8 +143,9 @@ class ZabReplica(BaselineReplica):
             return
         self.cpu.charge_mac(m.batch.size_bytes)
         self._pending_commits[m.seqno] = m.batch
-        self.send(f"r{self.leader_id}",
-                  Ack(m.epoch, m.seqno, self.replica_id), size_bytes=32)
+        self.send_authenticated(f"r{self.leader_id}",
+                                Ack(m.epoch, m.seqno, self.replica_id),
+                                size_bytes=32)
         if m.seqno in self._early_commits:
             self._early_commits.discard(m.seqno)
             self._deliver(m.seqno)
@@ -158,8 +165,7 @@ class ZabReplica(BaselineReplica):
                 return
             commit = CommitZab(self.view, m.seqno)
             followers = [f"r{f}" for f in self.follower_ids()]
-            self.cpu.charge_macs(len(followers), 32)
-            self.multicast(followers, commit, size_bytes=32)
+            self.multicast_authenticated(followers, commit, size_bytes=32)
             self.commit_batch(m.seqno, batch)
 
     def _on_commit(self, m: CommitZab) -> None:
@@ -227,9 +233,8 @@ class ZabReplica(BaselineReplica):
                 if current is None or epoch > current[0]:
                     merged[sn] = (epoch, batch)
         announcement = NewEpoch(target, self.replica_id, self.ex)
-        peers = self.other_replica_names()
-        self.cpu.charge_macs(len(peers), 64)
-        self.multicast(peers, announcement, size_bytes=64)
+        self.multicast_authenticated(self.other_replica_names(),
+                                     announcement, size_bytes=64)
         self.sn = max(self.sn, self.ex, max(merged, default=0))
         for sn in sorted(merged):
             if sn <= self.ex and sn in self.commit_log:

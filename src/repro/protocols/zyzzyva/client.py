@@ -45,8 +45,7 @@ class ZyzzyvaClient(QuorumClient):
                 repliers=tuple(sorted(r.replica for r in replies)))
             assert self.config.n is not None
             names = [f"r{r}" for r in range(self.config.n)]
-            self.cpu.charge_macs(len(names), 96)
-            self.multicast(names, cert, size_bytes=96)
+            self.multicast_authenticated(names, cert, size_bytes=96)
             self.fallback_commits += 1
             full = next((r.result for r in replies
                          if r.result is not None), replies[0].result)

@@ -24,6 +24,15 @@ Zyzzyva speculative execution *is* commitment, to be rolled back only
 across view changes, which the certificate forwarding makes unnecessary
 for crash faults); the new primary merges the longest certified history,
 announces ``NEW-VIEW``, and resumes ordering above it.
+
+History digest: every ``ORDER-REQ`` carries the primary's rolling history
+``h_n = D(h_{n-1}, d_n)``.  Replicas recompute it in *execution* order and
+check it against the primary's claim as each slot executes; a mismatch
+(``history_divergences``) triggers a sync from the primary and starts the
+election timer.  Across view changes the rolling digest is re-anchored
+deterministically from the ``NEW-VIEW``'s merged entries, so the check
+stays live in every view -- the primary of view ``v+1`` cannot quietly
+present a history that contradicts what the quorum handed it.
 """
 
 from __future__ import annotations
@@ -32,11 +41,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
 from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica
+from repro.protocols.base import BaselineReplica, register_modeled
 from repro.smr.log import CommitEntry
 from repro.smr.messages import Batch
 
 
+@register_modeled
 @dataclass(frozen=True)
 class OrderReq:
     """Primary -> all replicas: speculative ordering of a batch."""
@@ -48,6 +58,7 @@ class OrderReq:
     history_digest: Digest
 
 
+@register_modeled
 @dataclass(frozen=True)
 class CommitCert:
     """Client -> all replicas: 2t + 1 matching speculative responses for
@@ -61,6 +72,7 @@ class CommitCert:
     repliers: Tuple[int, ...]
 
 
+@register_modeled
 @dataclass(frozen=True)
 class ViewChange:
     """Suspecting replica -> all: its speculative history for ``view``."""
@@ -71,6 +83,7 @@ class ViewChange:
     entries: Tuple[Tuple[int, Batch], ...]
 
 
+@register_modeled
 @dataclass(frozen=True)
 class NewView:
     """New primary -> all: the merged history the new view starts from."""
@@ -87,6 +100,17 @@ class ZyzzyvaReplica(BaselineReplica):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._history = Digest(b"\x00" * 32)
+        #: Highest seqno the rolling history digest covers.
+        self._history_covered = 0
+        #: False after a view change or state-transfer jump, until the
+        #: next NEW-VIEW re-anchors the digest (checks are suspended).
+        self._history_anchored = True
+        #: seqno -> history digest the primary's ORDER-REQ claimed.
+        self._claimed_history: Dict[int, Digest] = {}
+        #: seqno -> batch digest from the ORDER-REQ (avoids recomputing).
+        self._order_digests: Dict[int, Digest] = {}
+        #: Primary history claims that failed verification.
+        self.history_divergences = 0
         self.certs_received = 0
 
     def supports_view_change(self) -> bool:
@@ -107,13 +131,14 @@ class ZyzzyvaReplica(BaselineReplica):
 
     def propose_batch(self, seqno: int, batch: Batch) -> None:
         digest = self.batch_digest(batch)
-        history = self._extend_history(digest)
+        history = self._claim_history(seqno, digest)
+        self._order_digests[seqno] = digest
         order = OrderReq(self.view, seqno, batch, digest, history)
         assert self.config.n is not None
         peers = [f"r{r}" for r in range(self.config.n)
                  if r != self.replica_id]
-        self.cpu.charge_macs(len(peers), batch.size_bytes)
-        self.multicast(peers, order, size_bytes=batch.size_bytes)
+        self.multicast_authenticated(peers, order,
+                                     size_bytes=batch.size_bytes)
         # The primary executes speculatively too.
         self.commit_batch(seqno, batch)
 
@@ -125,7 +150,8 @@ class ZyzzyvaReplica(BaselineReplica):
         if m.view != self.view or self.is_leader or self.campaigning:
             return
         self.cpu.charge_mac(m.batch.size_bytes)
-        self._extend_history(m.batch_digest)
+        self._claimed_history[m.seqno] = m.history_digest
+        self._order_digests[m.seqno] = m.batch_digest
         # Speculative execution: commit immediately on the primary's order.
         self.commit_batch(m.seqno, m.batch)
 
@@ -143,16 +169,105 @@ class ZyzzyvaReplica(BaselineReplica):
                 self._election_timer.start(
                     self.config.request_retransmit_ms)
 
-    def _extend_history(self, digest: Digest) -> Digest:
-        """Zyzzyva's rolling history digest ``h_n = D(h_{n-1}, d_n)``."""
+    # -- history digest ---------------------------------------------------
+    def _claim_history(self, seqno: int, digest: Digest) -> Digest:
+        """The history digest the primary advertises for ``seqno``.
+
+        ``h_n = D(h_{n-1}, d_n)`` when the rolling digest is contiguous up
+        to ``seqno``; the extension is applied here (the synchronous
+        execution that follows sees ``seqno`` already covered and skips
+        it, so the digest is computed exactly once per proposal).  A
+        primary proposing over a hole (sparse merge) ships its current
+        digest and drops the anchor -- followers then skip verification
+        until the next NEW-VIEW re-anchors everyone.
+        """
         from repro.crypto.primitives import digest_of
 
+        if self._history_anchored and seqno == self._history_covered + 1:
+            self.cpu.charge_digest(64)
+            self._history = digest_of((self._history, digest))
+            self._history_covered = seqno
+            return self._history
+        self._history_anchored = False
+        return self._history
+
+    def _advance_history(self, seqno: int, batch: Batch) -> None:
+        """Extend the rolling digest in execution order and verify the
+        primary's claim for this slot (execution order *is* seqno order,
+        unlike arrival order, so every replica computes the same h_n)."""
+        from repro.crypto.primitives import digest_of
+
+        claimed = self._claimed_history.pop(seqno, None)
+        digest = self._order_digests.pop(seqno, None)
+        if not self._history_anchored or seqno <= self._history_covered:
+            return
+        if seqno != self._history_covered + 1:
+            # A state-transfer jump outran the rolling digest; re-anchor
+            # at the next NEW-VIEW rather than verify against garbage.
+            self._history_anchored = False
+            return
+        if digest is None:  # slot arrived via sync, not an ORDER-REQ
+            digest = self.batch_digest(batch)
         self.cpu.charge_digest(64)
         self._history = digest_of((self._history, digest))
-        return self._history
+        self._history_covered = seqno
+        if claimed is not None and claimed != self._history:
+            self._on_history_divergence(seqno)
+
+    def _on_history_divergence(self, seqno: int) -> None:
+        """The primary's claimed history contradicts the locally
+        recomputed one: our speculative state diverged from the primary's
+        (a dropped/reordered slot, or a lying primary).  Repair via sync
+        and start suspecting."""
+        self.history_divergences += 1
+        self._history_anchored = False
+        if not self.is_leader:
+            self.request_sync(self.leader_id)
+            if not self._election_timer.armed:
+                self._election_timer.start(
+                    self.config.request_retransmit_ms)
+
+    def _anchor_history(self, view: int,
+                        entries: Tuple[Tuple[int, Batch], ...]) -> None:
+        """Deterministically rebuild the rolling digest from a NEW-VIEW's
+        merged entries, then replay any slots this replica already
+        executed past the merge.  Every replica anchors from the same
+        entries, so the digests agree in the new view no matter how far
+        each replica's speculation had run."""
+        from repro.crypto.primitives import digest_of
+
+        self.cpu.charge_digest(64 * max(1, len(entries)))
+        history = digest_of(("zyzzyva-history", view))
+        covered = 0
+        for sn, batch in entries:
+            history = digest_of(
+                (history, digest_of(tuple(r.body() for r in batch))))
+            covered = sn
+        self._history = history
+        self._history_covered = covered
+        self._history_anchored = True
+        self._claimed_history.clear()
+        self._order_digests.clear()
+        for sn in range(covered + 1, self.ex + 1):
+            entry = self.commit_log.get(sn)
+            if entry is None:
+                self._history_anchored = False
+                return
+            self._history = digest_of(
+                (self._history,
+                 digest_of(tuple(r.body() for r in entry.batch))))
+            self._history_covered = sn
+
+    def on_enter_view(self, view: int) -> None:
+        # The old view's claims are void; checks stay suspended until the
+        # NEW-VIEW re-anchors the rolling digest.
+        self._history_anchored = False
+        self._claimed_history.clear()
+        self._order_digests.clear()
 
     def after_execute(self, seqno: int, batch: Batch,
                       results: List[Any]) -> None:
+        self._advance_history(seqno, batch)
         # Every replica sends a speculative response to the client.
         self.reply_to_clients(seqno, batch, results)
 
@@ -181,10 +296,10 @@ class ZyzzyvaReplica(BaselineReplica):
         self.execute_ready()
         announcement = NewView(target, self.replica_id, self.ex,
                                tuple(sorted(merged.items())))
-        peers = self.other_replica_names()
         size = sum(b.size_bytes for b in merged.values()) + 128
-        self.cpu.charge_macs(len(peers), size)
-        self.multicast(peers, announcement, size_bytes=size)
+        self.multicast_authenticated(self.other_replica_names(),
+                                     announcement, size_bytes=size)
+        self._anchor_history(target, announcement.entries)
         self.sn = max(self.sn, self.ex, max(merged, default=0))
         if freshest_ex > self.ex:
             self.request_sync(freshest)
@@ -197,6 +312,7 @@ class ZyzzyvaReplica(BaselineReplica):
             if sn > self.ex and sn not in self.commit_log:
                 self.commit_log.put(sn, CommitEntry(sn, m.view, batch, ()))
         self.enter_view(m.view)
+        self._anchor_history(m.view, m.entries)
         self.sn = max(self.sn, self.ex,
                       max((sn for sn, _ in m.entries), default=0))
         self.execute_ready()

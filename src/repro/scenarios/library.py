@@ -206,6 +206,16 @@ def builtin_scenarios() -> List[Scenario]:
             protocols=FOLLOWER_TOLERANT,
         ),
         Scenario(
+            name="crash-primary-t2",
+            description="t=2 cluster: the leader crashes and recovers; "
+                        "the general-path view change (XPaxos "
+                        "prepare/commit-vote groups, wider baseline "
+                        "quorums) must elect and resume",
+            schedule=_crash_primary,
+            protocols=FAILOVER,
+            config_overrides={"t": 2},
+        ),
+        Scenario(
             name="crash-two-followers-t2",
             description="t=2 cluster: two follower crashes overlap; the "
                         "quorum holds (or a view change routes around "

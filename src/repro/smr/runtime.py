@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError
+from repro.crypto.authenticators import authenticator_for
 from repro.crypto.costs import CostModel, CpuMeter
 from repro.crypto.primitives import (
     KeyStore,
@@ -39,9 +40,12 @@ class NodeBase(Process):
         self.keystore = keystore
         self.cpu = CpuMeter(cost_model or CostModel.free())
         network.attach(Endpoint(name, site, self._on_deliver,
-                                lambda: not self.crashed))
+                                lambda: not self.crashed,
+                                deliver_auth=self._on_deliver_auth))
         #: Messages received, for debugging and protocol statistics.
         self.messages_received = 0
+        #: Deliveries dropped because their channel authenticator failed.
+        self.auth_failures = 0
 
     # ------------------------------------------------------------------
     def _on_deliver(self, src: str, payload: Any) -> None:
@@ -49,6 +53,26 @@ class NodeBase(Process):
             return
         self.messages_received += 1
         self.on_message(src, payload)
+
+    def _on_deliver_auth(self, src: str, body: Any, auth: Any,
+                         size_bytes: int) -> None:
+        """Authenticated delivery: verify the channel authenticator the
+        transport stamped for us, then dispatch the bare body.
+
+        A failed check drops the message before the protocol handler sees
+        it -- the transport-level equivalent of the per-handler MAC checks
+        the payloads used to carry.
+        """
+        if self.crashed:
+            return
+        self.messages_received += 1
+        policy = authenticator_for(type(body))
+        if policy is not None and policy.verify_on_delivery:
+            if not policy.verify(self.keystore, self.cpu, src, self.name,
+                                 body, auth, size_bytes=size_bytes):
+                self.auth_failures += 1
+                return
+        self.on_message(src, body)
 
     def on_message(self, src: str, payload: Any) -> None:
         """Handle one delivered message. Subclasses implement."""
@@ -67,6 +91,46 @@ class NodeBase(Process):
         """
         self.network.multicast(self.name, dsts, payload,
                                size_bytes=size_bytes)
+
+    def _policy_for(self, payload: Any):
+        policy = authenticator_for(type(payload))
+        if policy is None:
+            raise ConfigurationError(
+                f"{type(payload).__name__} has no authenticator policy; "
+                f"register it in its protocol's messages module")
+        return policy
+
+    def send_authenticated(self, dst: str, payload: Any,
+                           size_bytes: int = 0) -> None:
+        """Send one message under its class's authenticator policy.
+
+        The policy (registered in ``repro.crypto.authenticators``) decides
+        what travels on the channel: a per-receiver MAC, a signature, a
+        modelled-cost-only MAC, or nothing.  Sender-side CPU is charged
+        here; the receiver's runtime verifies before dispatch.
+        """
+        policy = self._policy_for(payload)
+        policy.charge_send(self.cpu, 1, size_bytes)
+        self.network.send_authenticated(
+            self.name, dst, payload, size_bytes=size_bytes,
+            authenticator=policy, keystore=self.keystore)
+
+    def multicast_authenticated(self, dsts: Sequence[str], payload: Any,
+                                size_bytes: int = 0) -> None:
+        """Fan a message out with per-receiver authenticators stamped at
+        delivery fan-out time (see :meth:`Network.multicast_authenticated`).
+
+        This is what lets MAC-vector fan-outs ride the multicast fast
+        path: the payload is identical for every receiver, only the
+        transport-level authenticator differs.
+        """
+        if not dsts:
+            return
+        policy = self._policy_for(payload)
+        policy.charge_send(self.cpu, len(dsts), size_bytes)
+        self.network.multicast_authenticated(
+            self.name, dsts, payload, size_bytes=size_bytes,
+            authenticator=policy, keystore=self.keystore)
 
 
 class ReplicaBase(NodeBase):
@@ -93,6 +157,43 @@ class ReplicaBase(NodeBase):
         self.execution_trace: List[tuple] = []
         #: Count of committed requests (not batches).
         self.committed_requests = 0
+
+    # -- fan-out helper ---------------------------------------------------
+    def _fanout_with_self(self, names: Sequence[str], payload: Any,
+                          size_bytes: int,
+                          self_handler: Callable[[], None]) -> None:
+        """Authenticated fan-out that keeps this replica's own processing
+        at its position in ``names``, so the per-destination latency draw
+        order matches a sequential send loop with inline self-delivery.
+
+        The one shared implementation of the split pattern every protocol
+        uses (votes, campaigns, view-change fan-outs): changing how the
+        self position is located here changes it for all of them, instead
+        of silently desynchronizing one protocol's draw order.
+        """
+        if self.name not in names:
+            self.multicast_authenticated(names, payload,
+                                         size_bytes=size_bytes)
+            return
+        me = names.index(self.name)
+        before, after = names[:me], names[me + 1:]
+        policy = self._policy_for(payload)
+        policy.charge_send(self.cpu, len(before) + len(after), size_bytes)
+        # One shared authenticator context (typically the payload digest)
+        # across both halves of the split: still one hash per fan-out.
+        context = policy.begin(self.keystore, self.name, payload)
+        network = self.network
+        if before:
+            network.multicast_authenticated(
+                self.name, before, payload, size_bytes=size_bytes,
+                authenticator=policy, keystore=self.keystore,
+                context=context)
+        self_handler()
+        if after:
+            network.multicast_authenticated(
+                self.name, after, payload, size_bytes=size_bytes,
+                authenticator=policy, keystore=self.keystore,
+                context=context)
 
     # -- crypto convenience, charging CPU --------------------------------
     def sign(self, payload: Any):

@@ -71,10 +71,12 @@ class TestCommands:
         payload = json.loads(out_path.read_text())
         benches = payload["benchmarks"]
         assert set(benches) == {"event_churn", "message_storm",
-                                "broadcast_storm", "xpaxos_closed_loop"}
+                                "broadcast_storm", "authenticated_broadcast",
+                                "xpaxos_closed_loop"}
         # The optimized paths must be observationally identical to the seed.
         assert benches["message_storm"]["results_match"]
         assert benches["broadcast_storm"]["results_match"]
+        assert benches["authenticated_broadcast"]["results_match"]
         assert benches["xpaxos_closed_loop"]["deterministic"]
 
     def test_compare_command_small(self, capsys):

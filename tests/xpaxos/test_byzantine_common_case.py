@@ -154,25 +154,29 @@ class TestEquivocationLimits:
 
     def test_client_rejects_mismatched_reply_digest(self, xpaxos_t1):
         """A faulty primary returning a corrupted result cannot convince
-        the client: the embedded m1 covers the follower's reply digest."""
+        the client: the embedded m1 covers the follower's reply digest.
+
+        The primary owns its channel key, so it can stamp a perfectly
+        valid transport MAC on the corrupted reply -- the content checks
+        are what must hold the line."""
         client = xpaxos_t1.clients[0]
         results = []
         client.on_result = results.append
-        request = client.propose("op", size_bytes=8)
+        client.propose("op", size_bytes=8)
         xpaxos_t1.sim.run(until=300.0)
         assert len(results) == 1  # sanity: the honest flow works
 
-        # Now craft a reply with a wrong result but a real mac.
+        # Second request in flight; answer it with a corrupted result
+        # (digest kept from the honest reply) under a valid channel MAC.
         primary = xpaxos_t1.replica(0)
         cached = primary._last_reply[0]
-        body = (0, cached.view, cached.seqno, cached.timestamp, 0,
-                cached.result_digest)
-        mac = xpaxos_t1.keystore.mac("r0", "c0", body)
+        request = client.propose("op2", size_bytes=8)
         tampered = msg.ReplyMsg(
-            replica=0, view=cached.view, seqno=cached.seqno,
-            timestamp=cached.timestamp + 1, client=0,
+            replica=0, view=cached.view, seqno=cached.seqno + 1,
+            timestamp=request.timestamp, client=0,
             result=b"corrupted", result_digest=cached.result_digest,
-            mac=mac, follower_commit=cached.follower_commit)
+            follower_commit=cached.follower_commit)
+        mac = xpaxos_t1.keystore.mac("r0", "c0", tampered)
         count_before = len(results)
-        client.on_message("r0", tampered)
+        client._on_deliver_auth("r0", tampered, mac, 64)
         assert len(results) == count_before  # not accepted

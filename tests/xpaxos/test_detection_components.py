@@ -233,27 +233,43 @@ class TestPreChk:
         harness.checker.assert_safe()
 
     def test_wrong_mac_prechk_ignored(self):
+        """A PRECHK whose transport MAC does not cover its body (or was
+        minted for a different channel) dies at delivery, before the
+        checkpoint handler ever sees it."""
         harness = committed_harness(seed=27)
-        r0, r1 = harness.replica(0), harness.replica(1)
+        r1 = harness.replica(1)
+        keystore = harness.runtime.keystore
         bad = msg.PreChk(seqno=4096, view=r1.view, state_digest=b"x" * 32,
-                         sender=0,
-                         mac=r0.mac_for("r1", ("prechk", "wrong", "body")))
-        r1._on_prechk("r0", bad)
+                         sender=0)
+        failures = r1.auth_failures
+        # MAC over the wrong body.
+        r1._on_deliver_auth("r0", bad,
+                            keystore.mac("r0", "r1",
+                                         ("prechk", "wrong", "body")), 64)
+        # MAC minted for a different receiver's channel (replay).
+        r1._on_deliver_auth("r0", bad, keystore.mac("r0", "r2", bad), 64)
+        assert 4096 not in r1._prechk_votes
+        assert r1.auth_failures == failures + 2
+        # A replica relaying a peer's correctly MAC'd PreChk from its own
+        # address cannot inject the vote either: the source check holds.
+        r1._on_deliver_auth("r2", bad, keystore.mac("r2", "r1", bad), 64)
         assert 4096 not in r1._prechk_votes
 
     def test_wrong_digest_prechk_never_reaches_agreement(self):
         """A vote whose digest disagrees with ours counts for nothing:
         no CHKPT is signed without t+1 *matching* digests."""
         harness = committed_harness(seed=28)
-        r0, r1 = harness.replica(0), harness.replica(1)
+        r1 = harness.replica(1)
         seqno = 4096
         own = r1.app.state_digest()
         r1._record_prechk(seqno, r1.replica_id, own)
-        body = ("prechk", seqno, r1.view, b"y" * 32, 0)
         evil = msg.PreChk(seqno=seqno, view=r1.view,
-                          state_digest=b"y" * 32, sender=0,
-                          mac=r0.mac_for("r1", body))
-        r1._on_prechk("r0", evil)
+                          state_digest=b"y" * 32, sender=0)
+        # Correctly MAC'd for the r0 -> r1 channel: the faulty active can
+        # vote a wrong digest, it just can never reach t+1 matching.
+        r1._on_deliver_auth("r0", evil,
+                            harness.runtime.keystore.mac("r0", "r1", evil),
+                            64)
         assert r1._prechk_votes[seqno][0] == b"y" * 32  # vote recorded
         assert seqno not in r1._chkpt_sigs  # but no CHKPT signed
 

@@ -51,14 +51,14 @@ class TestFetchOnGap:
         assert primary.stable_checkpoint is not None
         floor = primary.commit_log.low_water
         collected = []
-        original_send = primary.send
+        original_send = primary.send_authenticated
 
         def spy(dst, payload, size_bytes=0):
             if isinstance(payload, msg.FetchReply):
                 collected.append(payload)
             original_send(dst, payload, size_bytes=size_bytes)
 
-        primary.send = spy
+        primary.send_authenticated = spy
         primary._on_fetch("r2", msg.FetchEntries(1, floor, 2))
         assert collected
         reply = collected[0]
@@ -70,14 +70,14 @@ class TestFetchOnGap:
     def test_fetch_pending_flag_prevents_storms(self, xpaxos_t1):
         passive = xpaxos_t1.replica(2)
         sent = []
-        original_send = passive.send
+        original = passive.multicast_authenticated
 
-        def spy(dst, payload, size_bytes=0):
+        def spy(dsts, payload, size_bytes=0):
             if isinstance(payload, msg.FetchEntries):
-                sent.append(payload)
-            original_send(dst, payload, size_bytes=size_bytes)
+                sent.extend(payload for _ in dsts)
+            original(dsts, payload, size_bytes=size_bytes)
 
-        passive.send = spy
+        passive.multicast_authenticated = spy
         passive._fetch_missing(1, 5)
         passive._fetch_missing(1, 5)
         passive._fetch_missing(1, 5)
