@@ -56,7 +56,6 @@ def bench_config(protocol: ProtocolName, t: int = 1,
     defaults = dict(
         request_retransmit_ms=20_000.0,
         view_change_timeout_ms=10_000.0,
-        batch_timeout_ms=5.0,
     )
     defaults.update(overrides)
     return paper_config(protocol, t=t, **defaults)

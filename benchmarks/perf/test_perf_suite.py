@@ -80,6 +80,7 @@ def test_suite_payload_shape():
                         clients=2, duration_ms=400.0, repeat=1)
     assert set(payload["benchmarks"]) == {
         "event_churn", "message_storm", "broadcast_storm",
-        "authenticated_broadcast", "xpaxos_closed_loop"}
+        "authenticated_broadcast", "xpaxos_closed_loop",
+        "pipelined_throughput", "cohort_driver"}
     text = format_suite(payload)
     assert "event_churn" in text and "speedup" in text

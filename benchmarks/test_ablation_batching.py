@@ -11,6 +11,11 @@ from conftest import bench_config, one_zero, wan_runner
 BATCH_SIZES = (1, 5, 20, 80)
 CLIENTS = 96
 
+#: Deep enough that every closed-loop client can have its request in an
+#: in-flight slot even at B = 1 -- the ablation isolates the batching
+#: knob, so the pipeline-depth window must never be the binding limit.
+PIPELINE_DEPTH = 2 * CLIENTS
+
 
 def test_batching_ablation(benchmark):
     def build():
@@ -18,7 +23,8 @@ def test_batching_ablation(benchmark):
         for batch_size in BATCH_SIZES:
             runner = wan_runner()
             config = bench_config(ProtocolName.XPAXOS,
-                                  batch_size=batch_size)
+                                  batch_size=batch_size,
+                                  pipeline_depth=PIPELINE_DEPTH)
             results[batch_size] = runner.run_point(config,
                                                    one_zero(CLIENTS))
         return results

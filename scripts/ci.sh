@@ -59,6 +59,13 @@ assert benches["message_storm"]["results_match"]
 assert benches["broadcast_storm"]["results_match"]
 assert benches["authenticated_broadcast"]["results_match"]
 assert benches["xpaxos_closed_loop"]["deterministic"]
+# Leader pipelining must beat a depth-1 pipeline under saturating
+# open-loop load, and the open-loop driver must agree with the closed
+# loop at matched offered load.
+assert benches["pipelined_throughput"]["results_match"]
+assert benches["pipelined_throughput"]["speedup"] > 1.0
+assert benches["cohort_driver"]["agreement"]
+assert benches["cohort_driver"]["deterministic"]
 print("perf smoke ok: " + ", ".join(
     f"{name} {bench['speedup']:.2f}x"
     for name, bench in benches.items() if "speedup" in bench))
@@ -78,6 +85,7 @@ stage_scenarios() {
     # general-path view change on the larger cluster.
     python -m repro scenarios --protocol all \
         --scenario fault-free \
+        --scenario fault-free-openloop \
         --scenario crash-primary \
         --scenario crash-primary-t2 \
         --scenario crash-follower \
@@ -99,6 +107,11 @@ assert len(in_scope) >= 20, f"only {len(in_scope)} in-scope cells"
 for failover_row in ("crash-primary", "crash-primary-t2"):
     row = [c for c in cells if c["scenario"] == failover_row]
     assert len(row) == 5 and all(c["status"] == "pass" for c in row), row
+# The open-loop row drives every protocol with cohort arrivals; all five
+# must absorb the offered rate.
+open_row = [c for c in cells if c["scenario"] == "fault-free-openloop"]
+assert len(open_row) == 5 and all(c["status"] == "pass"
+                                  for c in open_row), open_row
 print(f"scenario smoke ok: {len(in_scope)} cells pass")
 EOF
 

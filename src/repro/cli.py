@@ -51,8 +51,7 @@ def _runner(seed: int, uplink: float) -> ExperimentRunner:
 def _bench_config(protocol: ProtocolName, t: int) -> ClusterConfig:
     return paper_config(protocol, t=t,
                         request_retransmit_ms=20_000.0,
-                        view_change_timeout_ms=10_000.0,
-                        batch_timeout_ms=5.0)
+                        view_change_timeout_ms=10_000.0)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -171,7 +170,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     config = ClusterConfig(
         t=1, protocol=ProtocolName.XPAXOS, sites=config.sites,
         delta_ms=1_250.0, request_retransmit_ms=2_500.0,
-        view_change_timeout_ms=10_000.0, batch_timeout_ms=5.0)
+        view_change_timeout_ms=10_000.0)
     workload = WorkloadConfig(num_clients=args.clients, request_size=1024,
                               duration_ms=duration_ms, warmup_ms=2_000.0,
                               client_site="CA")

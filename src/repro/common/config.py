@@ -145,11 +145,19 @@ class ClusterConfig:
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """A closed-loop microbenchmark workload (Section 5.1.3).
+    """A microbenchmark workload (Section 5.1.3).
 
     The paper's "1/0" benchmark is 1 kB requests and 0 kB replies; "4/0" is
-    4 kB requests.  Clients are closed-loop: each waits for the reply to its
-    current request before issuing the next one.
+    4 kB requests.  Two driving models are supported:
+
+    * **Closed loop** (the default, the paper's setup): each of
+      ``num_clients`` clients waits for the reply to its current request
+      before issuing the next one.
+    * **Open loop** (``offered_load_rps`` set): ``cohorts`` simulated
+      processes each model ``num_clients / cohorts`` logical clients,
+      issuing requests by Poisson arrival draws at the configured
+      aggregate rate regardless of completions -- the model that reveals
+      a server's real throughput ceiling.
     """
 
     num_clients: int = 100
@@ -159,6 +167,11 @@ class WorkloadConfig:
     warmup_ms: float = 5_000.0
     client_site: Optional[str] = None
     seed: int = 0
+    #: Aggregate open-loop arrival rate in requests/second; None selects
+    #: the closed-loop driver.
+    offered_load_rps: Optional[float] = None
+    #: Number of cohort processes sharing the open-loop arrival stream.
+    cohorts: int = 4
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -171,6 +184,15 @@ class WorkloadConfig:
             raise ConfigurationError(
                 "warmup_ms must be in [0, duration_ms)"
             )
+        if self.offered_load_rps is not None and self.offered_load_rps <= 0:
+            raise ConfigurationError("offered_load_rps must be positive")
+        if self.cohorts < 1:
+            raise ConfigurationError("cohorts must be >= 1")
+
+    @property
+    def open_loop(self) -> bool:
+        """True when this workload selects the open-loop cohort driver."""
+        return self.offered_load_rps is not None
 
     @classmethod
     def one_zero(cls, num_clients: int = 100, **kwargs) -> "WorkloadConfig":

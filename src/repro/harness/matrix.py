@@ -35,7 +35,7 @@ from repro.net.latency import LatencyModel
 from repro.protocols.registry import build_cluster
 from repro.scenarios.library import builtin_scenarios
 from repro.scenarios.scenario import Scenario
-from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.clients import WorkloadDriver, make_driver
 
 #: Statuses a cell can end in.
 PASS = "pass"
@@ -191,7 +191,7 @@ class MatrixRunner:
             liveness.watch(scenario.duration_ms)
         injector = FaultInjector(runtime)
         injector.arm(scenario.schedule(config))
-        driver = ClosedLoopDriver(
+        driver = make_driver(
             runtime, WorkloadConfig(**scenario.workload_kwargs()))
         driver.run()
 
@@ -202,7 +202,7 @@ class MatrixRunner:
     def _grade(self, protocol: ProtocolName, scenario: Scenario, runtime,
                checker: SafetyChecker,
                liveness: Optional[LivenessChecker],
-               driver: ClosedLoopDriver) -> CellResult:
+               driver: WorkloadDriver) -> CellResult:
         violations = checker.violations()
         liveness_violations = liveness.violations if liveness else []
         committed = sum(len(c.completions) for c in runtime.clients)

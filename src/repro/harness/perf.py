@@ -26,7 +26,7 @@ import heapq
 import json
 import platform
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.config import ProtocolName, WorkloadConfig
@@ -440,8 +440,7 @@ def bench_xpaxos_closed_loop(num_clients: int = 16,
     confirm determinism (same seed, same committed count)."""
     config = paper_config(ProtocolName.XPAXOS, t=1,
                           request_retransmit_ms=20_000.0,
-                          view_change_timeout_ms=10_000.0,
-                          batch_timeout_ms=5.0)
+                          view_change_timeout_ms=10_000.0)
     workload = WorkloadConfig(num_clients=num_clients, request_size=1024,
                               duration_ms=duration_ms,
                               warmup_ms=min(500.0, duration_ms / 4),
@@ -474,6 +473,116 @@ def bench_xpaxos_closed_loop(num_clients: int = 16,
     }
 
 
+def _make_runner(seed: int) -> ExperimentRunner:
+    return ExperimentRunner(
+        latency_factory=lambda s: LatencyModel.ec2(seed=s),
+        bandwidth_factory=lambda: BandwidthModel(default_rate=4_000.0),
+        cost_model=CostModel(),
+        seed=seed,
+    )
+
+
+def bench_pipelined_throughput(duration_ms: float = 2_000.0,
+                               seed: int = 0) -> Dict[str, Any]:
+    """Pipelining speedup: saturating open-loop XPaxos run at
+    ``pipeline_depth=8`` (current) vs ``pipeline_depth=1`` (baseline).
+
+    The offered load is far past either configuration's capacity, so each
+    run measures its pipeline's actual ceiling; the gated ``speedup`` is
+    the committed-count ratio over identical virtual time -- a
+    deterministic quantity, immune to wall-clock noise.
+    """
+    workload = WorkloadConfig(num_clients=200, request_size=1024,
+                              duration_ms=duration_ms,
+                              warmup_ms=min(500.0, duration_ms / 4),
+                              client_site="CA",
+                              offered_load_rps=10_000.0, cohorts=4)
+
+    def run_depth(depth: int) -> Dict[str, Any]:
+        config = paper_config(ProtocolName.XPAXOS, t=1,
+                              request_retransmit_ms=20_000.0,
+                              view_change_timeout_ms=10_000.0,
+                              pipeline_depth=depth)
+        result = _make_runner(seed).run_point(config, workload)
+        return {"committed": result.committed,
+                "throughput_kops": result.throughput_kops}
+
+    start = time.perf_counter()
+    deep = run_depth(8)
+    elapsed = time.perf_counter() - start
+    base_start = time.perf_counter()
+    shallow = run_depth(1)
+    baseline_seconds = time.perf_counter() - base_start
+    speedup = (deep["committed"] / shallow["committed"]
+               if shallow["committed"] else float("inf"))
+    return {
+        "units": deep["committed"],
+        "seconds": elapsed,
+        "baseline_seconds": baseline_seconds,
+        "speedup": speedup,
+        "committed_depth8": deep["committed"],
+        "committed_depth1": shallow["committed"],
+        "throughput_kops": deep["throughput_kops"],
+        "virtual_ms": duration_ms,
+        "results_match": 0 < shallow["committed"] <= deep["committed"],
+    }
+
+
+def bench_cohort_driver(num_clients: int = 16,
+                        duration_ms: float = 2_000.0,
+                        seed: int = 0) -> Dict[str, Any]:
+    """Open-loop / closed-loop equivalence check.
+
+    Runs the closed loop, re-runs open-loop with the achieved throughput
+    as the offered rate, and reports whether both models agree (within
+    25%) on delivered throughput -- at matched load below saturation the
+    two must measure the same protocol.  Run twice for determinism.
+    """
+    config = paper_config(ProtocolName.XPAXOS, t=1,
+                          request_retransmit_ms=20_000.0,
+                          view_change_timeout_ms=10_000.0)
+    closed_workload = WorkloadConfig(
+        num_clients=num_clients, request_size=1024,
+        duration_ms=duration_ms,
+        warmup_ms=min(500.0, duration_ms / 4), client_site="CA")
+
+    def run_pair() -> Dict[str, Any]:
+        closed = _make_runner(seed).run_point(config, closed_workload)
+        rate_rps = closed.throughput_kops * 1_000.0
+        open_workload = replace(closed_workload,
+                                offered_load_rps=max(rate_rps, 1.0),
+                                cohorts=4)
+        open_result = _make_runner(seed).run_point(config, open_workload)
+        return {"closed_committed": closed.committed,
+                "open_committed": open_result.committed,
+                "closed_kops": closed.throughput_kops,
+                "open_kops": open_result.throughput_kops}
+
+    start = time.perf_counter()
+    first = run_pair()
+    elapsed = time.perf_counter() - start
+    second = run_pair()
+    # 25% relative, with an absolute slack of a few commits: probe-sized
+    # runs commit so few requests that Poisson arrival granularity alone
+    # can exceed any relative bound.
+    agreement = (first["closed_kops"] > 0
+                 and (abs(first["open_kops"] - first["closed_kops"])
+                      <= 0.25 * first["closed_kops"]
+                      or abs(first["open_committed"]
+                             - first["closed_committed"]) <= 5))
+    return {
+        "units": first["open_committed"],
+        "seconds": elapsed,
+        "closed_committed": first["closed_committed"],
+        "open_committed": first["open_committed"],
+        "closed_kops": first["closed_kops"],
+        "open_kops": first["open_kops"],
+        "virtual_ms": duration_ms,
+        "agreement": agreement,
+        "deterministic": first == second and agreement,
+    }
+
+
 def run_suite(events: int = 200_000, messages: int = 100_000,
               broadcast_rounds: int = 12_500, clients: int = 16,
               duration_ms: float = 2_000.0, seed: int = 0,
@@ -502,6 +611,10 @@ def run_suite(events: int = 200_000, messages: int = 100_000,
             "authenticated_broadcast": bench_authenticated_broadcast(
                 max(1, broadcast_rounds // 3), seed=seed, repeat=repeat),
             "xpaxos_closed_loop": bench_xpaxos_closed_loop(
+                clients, duration_ms, seed=seed),
+            "pipelined_throughput": bench_pipelined_throughput(
+                duration_ms, seed=seed),
+            "cohort_driver": bench_cohort_driver(
                 clients, duration_ms, seed=seed),
         },
     }

@@ -19,7 +19,7 @@ from repro.protocols.registry import build_cluster
 from repro.sim.core import Simulator
 from repro.smr.app import StateMachine
 from repro.smr.runtime import ClusterRuntime
-from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.clients import make_driver
 
 
 @dataclass
@@ -35,6 +35,9 @@ class ExperimentResult:
     cpu_percent_most_loaded: float
     cpu_by_replica: Dict[int, float] = field(default_factory=dict)
     timeouts: int = 0
+    #: Open-loop runs only: measured arrival rate and saturation marker.
+    offered_load_kops: Optional[float] = None
+    saturated: bool = False
 
     def __str__(self) -> str:
         lat = (f"{self.mean_latency_ms:.1f}"
@@ -87,9 +90,9 @@ class ExperimentRunner:
 
     def run_point(self, config: ClusterConfig,
                   workload: WorkloadConfig) -> ExperimentResult:
-        """Run one closed-loop benchmark and collect metrics."""
+        """Run one benchmark (closed or open loop) and collect metrics."""
         runtime = self.build(config, workload)
-        driver = ClosedLoopDriver(runtime, workload)
+        driver = make_driver(runtime, workload)
         # Snapshot each replica's CPU busy time when warmup ends, so CPU is
         # reported over the same measured window as throughput and latency
         # (keeps the Figure 8 comparison apples-to-apples).
@@ -120,6 +123,9 @@ class ExperimentRunner:
             cpu_percent_most_loaded=most_loaded,
             cpu_by_replica=cpu_by_replica,
             timeouts=timeouts,
+            offered_load_kops=(driver.offered_load_kops()
+                               if workload.open_loop else None),
+            saturated=getattr(driver, "saturated", False),
         )
 
     def sweep_clients(
@@ -137,6 +143,30 @@ class ExperimentRunner:
             workload = replace(base_workload, num_clients=count,
                                seed=base_workload.seed + count)
             points.append(SweepPoint(count, self.run_point(config, workload)))
+        return points
+
+    def sweep_offered_load(
+        self,
+        config: ClusterConfig,
+        offered_rps: Sequence[float],
+        base_workload: WorkloadConfig,
+    ) -> List[SweepPoint]:
+        """Open-loop throughput curve: one run per offered arrival rate.
+
+        The client count stays fixed (it sizes the channel pool); the
+        x-axis is the offered load, which -- unlike closed-loop client
+        counts -- can be pushed orders of magnitude past the protocol's
+        capacity to expose the throughput plateau.
+        """
+        points = []
+        for rate in offered_rps:
+            # Unlike sweep_clients, the seed stays fixed: every rate point
+            # sees the same network draw, so curve differences are pure
+            # offered-load effects (arrival draws still differ by rate).
+            workload = replace(base_workload, offered_load_rps=rate)
+            points.append(
+                SweepPoint(workload.num_clients,
+                           self.run_point(config, workload)))
         return points
 
     # ------------------------------------------------------------------

@@ -109,6 +109,126 @@ class SyncReply:
     entries: Tuple[Tuple[int, Batch], ...]
 
 
+class PipelinedSequencer:
+    """Leader-side batching and slot pipelining, shared by every protocol.
+
+    One instance lives on each replica (baseline and XPaxos alike) and owns
+    the queue of client requests awaiting a slot, the request-dedup set,
+    the batch timer, and the pipeline window: the leader may have at most
+    ``config.pipeline_depth`` slots issued but not yet executed.  When the
+    window is full a flush parks instead of proposing; executing a slot
+    re-opens the window and :meth:`pump` resumes the parked flush.  While
+    the window never fills, the event sequence is identical to an
+    unbounded pipeline -- which is what keeps byte-identical determinism
+    goldens stable for workloads that never push the window.
+
+    Slots re-proposed during a view change or ballot merge are *carried*
+    state, not new issues: :meth:`carry_over` excludes everything up to
+    the current ``sn`` from the window, so a fresh leader is never blocked
+    on its own catch-up traffic.
+
+    The host replica provides:
+
+    * ``sn`` / ``ex`` attributes (highest issued / highest executed slot),
+    * ``may_propose()`` -- whether this replica may cut batches right now,
+    * ``propose(seqno, batch)`` -- start the protocol's ordering exchange.
+    """
+
+    def __init__(self, replica, may_propose: Callable[[], bool],
+                 propose: Callable[[int, "Batch"], None]) -> None:
+        self.replica = replica
+        self.config = replica.config
+        self._may_propose = may_propose
+        self._propose = propose
+        self.pending: List[Request] = []
+        self.seen: set = set()
+        self._timer = Timer(replica, self.flush, "batch")
+        self._parked = False
+        self._carried_upto = 0
+        #: Flushes deferred because the window was full (statistics).
+        self.stalls = 0
+
+    # -- window -----------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Slots issued by this leader and not yet executed, excluding
+        carried-over re-proposals."""
+        replica = self.replica
+        return replica.sn - max(replica.ex, self._carried_upto)
+
+    def carry_over(self) -> None:
+        """Exclude every slot up to the current ``sn`` from the window
+        (called after a view install / ballot merge re-proposed them)."""
+        self._carried_upto = max(self._carried_upto, self.replica.sn)
+
+    # -- intake -----------------------------------------------------------
+    def offer(self, request: Request) -> bool:
+        """Enqueue one deduplicated request; cut a batch when full.
+
+        Returns False when the request id was already seen.
+        """
+        if request.rid in self.seen:
+            return False
+        self.seen.add(request.rid)
+        self.pending.append(request)
+        if len(self.pending) >= self.config.batch_size:
+            self.flush()
+        elif not self._timer.armed:
+            self._timer.start(self.config.batch_timeout_ms)
+        return True
+
+    # -- slot issue -------------------------------------------------------
+    def flush(self) -> None:
+        """Cut one batch, assign it the next slot, and propose it --
+        unless the pipeline window is full, in which case the flush parks
+        until :meth:`pump` re-opens it."""
+        self._timer.stop()
+        if not self.pending or not self._may_propose():
+            return
+        if self.in_flight >= self.config.pipeline_depth:
+            self._parked = True
+            self.stalls += 1
+            return
+        requests = tuple(self.pending[: self.config.batch_size])
+        del self.pending[: len(requests)]
+        batch = Batch(requests)
+        self.replica.sn += 1
+        self._propose(self.replica.sn, batch)
+        if self.pending:
+            self.replica.sim.call_soon(self.flush)
+
+    def pump(self) -> None:
+        """Resume a parked flush after execution advanced the window."""
+        if self._parked:
+            self._parked = False
+            if self.pending:
+                self.replica.sim.call_soon(self.flush)
+
+    def kick(self) -> None:
+        """Schedule a flush if anything is pending (leader-change entry
+        points use this instead of calling :meth:`flush` inline)."""
+        if self.pending:
+            self.replica.sim.call_soon(self.flush)
+
+    # -- leader-change housekeeping ---------------------------------------
+    def stop_timer(self) -> None:
+        """Disarm the batch timer (stepping out of the leader role)."""
+        self._timer.stop()
+
+    def drain(self) -> List[Request]:
+        """Hand back (and forget) every queued request, un-marking their
+        ids so retransmissions to a new leader are not dropped as dups."""
+        pending, self.pending = self.pending, []
+        for request in pending:
+            self.seen.discard(request.rid)
+        return pending
+
+    def reset_seen(self, rids) -> None:
+        """Replace the dedup set (a fresh leader rebuilds it from its
+        committed log)."""
+        self.seen = set(rids)
+
+
 class BaselineReplica(ReplicaBase):
     """Skeleton replica: batching at the leader + ordered execution.
 
@@ -127,9 +247,10 @@ class BaselineReplica(ReplicaBase):
         self.sn = 0
         self.ex = 0
         self.commit_log = CommitLog()
-        self._pending_requests: List[Request] = []
-        self._batch_timer = Timer(self, self.flush_batch, "batch")
-        self._seen_requests: set = set()
+        self.sequencer = PipelinedSequencer(
+            self,
+            may_propose=lambda: self.is_leader and not self.campaigning,
+            propose=lambda seqno, batch: self.propose_batch(seqno, batch))
         self._last_reply: Dict[int, GenericReply] = {}
         self.on_commit_batch: Optional[Callable[[int, Batch], None]] = None
         # Leader-change state (see the module docstring).
@@ -200,28 +321,11 @@ class BaselineReplica(ReplicaBase):
                 self.send_authenticated(f"c{request.client}", cached,
                                         size_bytes=cached.size_bytes)
             return
-        if request.rid in self._seen_requests:
-            return
-        self._seen_requests.add(request.rid)
-        self._pending_requests.append(request)
-        if len(self._pending_requests) >= self.config.batch_size:
-            self.flush_batch()
-        elif not self._batch_timer.armed:
-            self._batch_timer.start(self.config.batch_timeout_ms)
+        self.sequencer.offer(request)
 
     def flush_batch(self) -> None:
         """Assign the next sequence number to a batch and propose it."""
-        self._batch_timer.stop()
-        if not self._pending_requests or not self.is_leader \
-                or self.campaigning:
-            return
-        requests = tuple(self._pending_requests[: self.config.batch_size])
-        del self._pending_requests[: len(requests)]
-        batch = Batch(requests)
-        self.sn += 1
-        self.propose_batch(self.sn, batch)
-        if self._pending_requests:
-            self.sim.call_soon(self.flush_batch)
+        self.sequencer.flush()
 
     def propose_batch(self, seqno: int, batch: Batch) -> None:
         """Protocol-specific ordering exchange. Subclasses implement."""
@@ -237,10 +341,12 @@ class BaselineReplica(ReplicaBase):
 
     def execute_ready(self) -> None:
         """Execute committed batches in order; subclass hook for replies."""
+        progressed = False
         while True:
             entry = self.commit_log.get(self.ex + 1)
             if entry is None:
-                return
+                break
+            progressed = True
             # Execution progress means the current leader is doing its
             # job: call off any pending election.
             self._election_timer.stop()
@@ -257,6 +363,8 @@ class BaselineReplica(ReplicaBase):
             if seqno % self.config.checkpoint_period == 0:
                 self.commit_log.truncate_to(
                     seqno - self.config.checkpoint_period)
+        if progressed:
+            self.sequencer.pump()
 
     def after_execute(self, seqno: int, batch: Batch,
                       results: List[Any]) -> None:
@@ -396,13 +504,15 @@ class BaselineReplica(ReplicaBase):
         self._target_view = max(self._target_view, target)
         self.view_changes_completed += 1
         self._election_timer.stop()
-        self._batch_timer.stop()
+        self.sequencer.stop_timer()
         self._vc_msgs = {v: m for v, m in self._vc_msgs.items()
                          if v > target}
         self.on_enter_view(target)
         self.install_view(target, msgs)
-        if self._pending_requests:
-            self.sim.call_soon(self.flush_batch)
+        # Slots the install step re-proposed are carried state; they must
+        # not count against the new leader's pipeline window.
+        self.sequencer.carry_over()
+        self.sequencer.kick()
 
     def enter_view(self, view: int) -> None:
         """Adopt a view whose leader already installed it."""
@@ -412,15 +522,13 @@ class BaselineReplica(ReplicaBase):
         self._target_view = max(self._target_view, view)
         self.view_changes_completed += 1
         self._election_timer.stop()
-        self._batch_timer.stop()
+        self.sequencer.stop_timer()
         self._vc_msgs = {v: m for v, m in self._vc_msgs.items() if v > view}
         # Requests batched while we briefly believed ourselves leader
         # belong to the new leader now; un-mark them so retransmissions
         # are not dropped as duplicates.
-        if self._pending_requests and not self.is_leader:
-            pending, self._pending_requests = self._pending_requests, []
-            for request in pending:
-                self._seen_requests.discard(request.rid)
+        if not self.is_leader:
+            for request in self.sequencer.drain():
                 self.send_authenticated(f"r{self.leader_id}",
                                         ClientRequestMsg(request),
                                         size_bytes=request.size_bytes)

@@ -141,7 +141,7 @@ class PaxosReplica(BaselineReplica):
         # The leader accepts its own proposal (it is one of the majority
         # counted in ``_on_accepted``).  Recording it here means a later
         # ballot's merge re-proposes in-flight batches instead of losing
-        # them -- their rids are already in ``_seen_requests``, so client
+        # them -- their rids are already in the sequencer's seen set, so client
         # retransmissions alone could never resurrect them.
         self._accepted[seqno] = (self.view, batch)
         accept = Accept(self.view, seqno, batch, digest)
@@ -241,7 +241,7 @@ class PaxosReplica(BaselineReplica):
             return  # stale campaign
         if m.view > self.view:
             self.view = m.view
-            self._batch_timer.stop()
+            self.sequencer.stop_timer()
             self._proposed.clear()
             self._acks.clear()
             if m.sender != self.replica_id:
@@ -296,6 +296,7 @@ class PaxosReplica(BaselineReplica):
                 continue
             _, batch = merged[seqno]
             self.propose_batch(seqno, batch)
-        # Requests queued while campaigning flow through flush_batch.
-        if self._pending_requests:
-            self.sim.call_soon(self.flush_batch)
+        # Merged re-proposals are carried state, outside the pipeline
+        # window; requests queued while campaigning flow through a flush.
+        self.sequencer.carry_over()
+        self.sequencer.kick()

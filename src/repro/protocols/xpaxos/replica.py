@@ -32,6 +32,7 @@ from repro.crypto.primitives import (
     replica_principal,
 )
 from repro.net.network import Network
+from repro.protocols.base import PipelinedSequencer
 from repro.protocols.xpaxos import messages as msg
 from repro.protocols.xpaxos.detection import FaultDetector
 from repro.protocols.xpaxos.groups import SynchronousGroups
@@ -85,10 +86,11 @@ class XPaxosReplica(ReplicaBase):
         self.commit_log = CommitLog()
         self.prepare_view = 0   # view in which prepare_log was generated (FD)
 
-        # Batching at the primary.
-        self._pending_requests: List[Request] = []
-        self._batch_timer = Timer(self, self._flush_batch, "batch")
-        self._seen_requests: Set[tuple] = set()
+        # Batching and slot pipelining at the primary (shared sequencer).
+        self.sequencer = PipelinedSequencer(
+            self,
+            may_propose=lambda: self.is_primary and not self.in_view_change,
+            propose=self._propose_slot)
 
         # Per-slot transient state for the general (t >= 2) path.
         self._commit_votes: Dict[int, Dict[int, msg.CommitVote]] = {}
@@ -206,14 +208,7 @@ class XPaxosReplica(ReplicaBase):
         if self._already_executed(request):
             self._resend_cached_reply(request)
             return
-        if request.rid in self._seen_requests:
-            return
-        self._seen_requests.add(request.rid)
-        self._pending_requests.append(request)
-        if len(self._pending_requests) >= self.config.batch_size:
-            self._flush_batch()
-        elif not self._batch_timer.armed:
-            self._batch_timer.start(self.config.batch_timeout_ms)
+        self.sequencer.offer(request)
 
     def _verify_request(self, request: Request) -> bool:
         """Verify the client's signature on a request."""
@@ -232,24 +227,12 @@ class XPaxosReplica(ReplicaBase):
             self.send_authenticated(f"c{request.client}", cached,
                                     size_bytes=cached.size_bytes)
 
-    def _flush_batch(self) -> None:
-        """Form a batch from pending requests and start ordering it."""
-        self._batch_timer.stop()
-        if not self._pending_requests or not self.is_primary \
-                or self.in_view_change:
-            return
-        requests = tuple(self._pending_requests[: self.config.batch_size])
-        del self._pending_requests[: len(requests)]
-        batch = Batch(requests)
-        self.sn += 1
-        seqno = self.sn
+    def _propose_slot(self, seqno: int, batch: Batch) -> None:
+        """Start ordering one sequencer-cut batch on the configured path."""
         if self.config.t == 1:
             self._fast_propose(seqno, batch)
         else:
             self._propose(seqno, batch)
-        if self._pending_requests:
-            # More waiting than one batch: keep the pipeline moving.
-            self.sim.call_soon(self._flush_batch)
 
     # -- general case (t >= 2) ------------------------------------------
     def _propose(self, seqno: int, batch: Batch) -> None:
@@ -451,10 +434,12 @@ class XPaxosReplica(ReplicaBase):
     # -- execution ---------------------------------------------------------
     def _execute_ready(self) -> None:
         """Execute committed batches in sequence order."""
+        progressed = False
         while True:
             entry = self.commit_log.get(self.ex + 1)
             if entry is None:
-                return
+                break
+            progressed = True
             seqno = self.ex + 1
             results = self._execute_batch(seqno, entry.batch)
             self.ex = seqno
@@ -465,6 +450,8 @@ class XPaxosReplica(ReplicaBase):
             else:
                 self._cache_replies(seqno, entry.batch, results)
             self._maybe_checkpoint(seqno)
+        if progressed:
+            self.sequencer.pump()
 
     def _execute_batch(self, seqno: int, batch: Batch) -> List[Any]:
         results = []
@@ -572,7 +559,7 @@ class XPaxosReplica(ReplicaBase):
         """Stop the old view and send our VIEW-CHANGE to the new actives."""
         self.view = new_view
         self.in_view_change = True
-        self._batch_timer.stop()
+        self.sequencer.stop_timer()
         self._pending_prepares.clear()
         self._commit_votes.clear()
         # Give pending retransmissions a fresh window: the new view needs
@@ -955,12 +942,13 @@ class XPaxosReplica(ReplicaBase):
                     lambda m=resend: self._on_resend("replayed", m))
         # Start afresh in the new view.
         if self.is_primary:
-            self._seen_requests = {r.rid for _, r
-                                   in ((sn, req) for sn, e
-                                       in self.commit_log.items()
-                                       for req in e.batch)}
-            if self._pending_requests:
-                self.sim.call_soon(self._flush_batch)
+            self.sequencer.reset_seen(
+                req.rid for _, e in self.commit_log.items()
+                for req in e.batch)
+            # Slots prepared in the old view and re-adopted here are
+            # carried state, outside the new view's pipeline window.
+            self.sequencer.carry_over()
+            self.sequencer.kick()
 
     def _on_vc_timer(self) -> None:
         """The view change did not complete in time (Section 4.3.2 (iii))."""
@@ -1333,7 +1321,7 @@ class XPaxosReplica(ReplicaBase):
         self._crashed = False  # Process.recover without the app reset
         self._commit_votes.clear()
         self._pending_prepares.clear()
-        self._pending_requests.clear()
+        self.sequencer.pending.clear()
         self._retransmissions.clear()
         # A recovering replica cannot tell whether its view is stale; it
         # rejoins and relies on suspect/view-change traffic to catch up.

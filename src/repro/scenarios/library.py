@@ -151,6 +151,15 @@ def builtin_scenarios() -> List[Scenario]:
             schedule=_no_faults,
         ),
         Scenario(
+            name="fault-free-openloop",
+            description="no faults, open-loop cohort arrivals at 800 req/s: "
+                        "every protocol must absorb rate-driven load",
+            schedule=_no_faults,
+            num_clients=6,
+            offered_load_rps=800.0,
+            cohorts=2,
+        ),
+        Scenario(
             name="crash-passive",
             description="the replica outside the common case crashes and "
                         "recovers; the common case must not notice",

@@ -72,6 +72,9 @@ class Scenario:
         check_liveness: arm the liveness checker.
         liveness_bound_ms: tolerated commit-free window while healthy.
         min_committed: floor on total client-visible commits.
+        offered_load_rps: when set, the cell runs the open-loop cohort
+            driver at this aggregate arrival rate instead of the closed
+            loop; ``cohorts`` arrival streams share the rate.
     """
 
     name: str
@@ -92,6 +95,8 @@ class Scenario:
     check_liveness: bool = True
     liveness_bound_ms: float = 2_500.0
     min_committed: int = 1
+    offered_load_rps: Optional[float] = None
+    cohorts: int = 2
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -112,7 +117,11 @@ class Scenario:
 
     def workload_kwargs(self) -> Dict[str, Any]:
         """Keyword arguments for :class:`WorkloadConfig`."""
-        return dict(num_clients=self.num_clients,
-                    request_size=self.request_size,
-                    duration_ms=self.duration_ms,
-                    warmup_ms=self.warmup_ms)
+        kwargs = dict(num_clients=self.num_clients,
+                      request_size=self.request_size,
+                      duration_ms=self.duration_ms,
+                      warmup_ms=self.warmup_ms)
+        if self.offered_load_rps is not None:
+            kwargs.update(offered_load_rps=self.offered_load_rps,
+                          cohorts=self.cohorts)
+        return kwargs

@@ -72,7 +72,8 @@ class TestCommands:
         benches = payload["benchmarks"]
         assert set(benches) == {"event_churn", "message_storm",
                                 "broadcast_storm", "authenticated_broadcast",
-                                "xpaxos_closed_loop"}
+                                "xpaxos_closed_loop", "pipelined_throughput",
+                                "cohort_driver"}
         # The optimized paths must be observationally identical to the seed.
         assert benches["message_storm"]["results_match"]
         assert benches["broadcast_storm"]["results_match"]
