@@ -17,16 +17,38 @@
 #            BENCH_perf.json, gates it against the best recorded point in
 #            benchmarks/perf/history/ (>20% speedup drop fails -- see
 #            `repro trajectory`), then archives this run as a new point.
-# scenarios  a conformance-matrix slice through the CLI path, diffed
-#            against the committed SCENARIO_smoke.json golden.
+# scenarios  a conformance-matrix slice through the CLI path (run with
+#            --jobs $(nproc); the merged JSON is byte-identical to a
+#            sequential run), diffed against the committed
+#            SCENARIO_smoke.json golden.
 #
 # The GitHub Actions workflow (.github/workflows/ci.yml) runs the stages
 # as separate jobs and uploads BENCH_perf.json and SCENARIO_smoke.json as
 # artifacts.
+#
+# Perf/scenario serialization: the perf stage gates *same-host speedup
+# ratios*, so it must never share the host with a --jobs matrix run --
+# worker processes competing for cores skew the ratio and trip the
+# trajectory gate spuriously (a trip under a loaded host is host
+# contention, not a regression; see docs/parallelism.md).  Within one
+# ci.sh invocation the stages already run strictly in order; the flock
+# below additionally serializes perf against any *concurrent* ci.sh
+# running the scenario stage on the same host.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+CI_LOCK="${REPRO_CI_LOCK:-${TMPDIR:-/tmp}/repro-ci-host.lock}"
+
+# Take the host-wide CI lock for the duration of the calling subshell
+# (no-op when util-linux flock is unavailable).
+acquire_host_lock() {
+    if command -v flock >/dev/null 2>&1; then
+        exec 9>>"$CI_LOCK"
+        flock 9
+    fi
+}
 
 stage_lint() {
     echo "== lint: byte-compile + optional pyflakes =="
@@ -43,7 +65,11 @@ stage_tier1() {
     python -m pytest -x -q
 }
 
-stage_perf() {
+# Subshell body: the host lock (fd 9) releases when the stage exits.
+# The benchmarks themselves stay serial -- farming the suite's current
+# and seed sides to concurrent workers would skew the gated ratios.
+stage_perf() (
+    acquire_host_lock
     echo "== perf: micro-benchmarks + trajectory gate =="
     python -m repro bench --events 50000 --messages 30000 \
         --broadcast-rounds 4000 --clients 8 --duration 1 --repeat 2
@@ -76,14 +102,18 @@ EOF
     # as the next point on the trajectory.
     python -m repro trajectory check BENCH_perf.json
     python -m repro trajectory record BENCH_perf.json
-}
+)
 
-stage_scenarios() {
+stage_scenarios() (
+    acquire_host_lock
     echo "== scenarios: conformance matrix slice =="
     # crash-primary is the failover cell (in scope for all five since the
     # baseline view-change work); crash-primary-t2 exercises the
-    # general-path view change on the larger cluster.
+    # general-path view change on the larger cluster.  The cells fan out
+    # over one worker per core; the merged JSON is byte-identical to a
+    # --jobs 1 run, so the golden diff below is unaffected.
     python -m repro scenarios --protocol all \
+        --jobs "${REPRO_SMOKE_JOBS:-$(nproc)}" \
         --scenario fault-free \
         --scenario fault-free-openloop \
         --scenario crash-primary \
@@ -123,7 +153,7 @@ EOF
         echo "SCENARIO_smoke.json drifted from the committed golden" >&2
         exit 1
     fi
-}
+)
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then

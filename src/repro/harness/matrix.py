@@ -31,6 +31,7 @@ from repro.common.config import (
 from repro.faults.checker import SafetyChecker
 from repro.faults.injector import FaultInjector
 from repro.faults.liveness import LivenessChecker
+from repro.harness.parallel import guard_global_rng, parallel_map
 from repro.net.latency import LatencyModel
 from repro.protocols.registry import build_cluster
 from repro.scenarios.library import builtin_scenarios
@@ -42,6 +43,9 @@ PASS = "pass"
 FAIL = "fail"
 EXPECTED_VIOLATION = "expected-violation"
 SKIPPED = "skipped"
+#: The cell's worker raised or died before grading finished.  Only that
+#: cell is lost; the rest of the matrix is unaffected.
+ERROR = "error"
 
 #: Fast timeouts for conformance cells (scenarios are phrased in a few
 #: virtual seconds, not paper-scale ones).  The test suite's FAST_TIMEOUTS
@@ -119,7 +123,8 @@ class MatrixResult:
         by_key: Dict[tuple, CellResult] = {
             (c.scenario, c.protocol): c for c in self.cells}
         symbol = {PASS: "ok", FAIL: "FAIL",
-                  EXPECTED_VIOLATION: "anarchy", SKIPPED: "-"}
+                  EXPECTED_VIOLATION: "anarchy", SKIPPED: "-",
+                  ERROR: "ERR"}
         width = max(len(s) for s in scenarios) if scenarios else 8
         lines = [" " * width + "  " + "".join(f"{p:>9}" for p in protocols)]
         for scenario in scenarios:
@@ -133,7 +138,7 @@ class MatrixResult:
         for cell in self.cells:
             counts[cell.status] = counts.get(cell.status, 0) + 1
         summary = ", ".join(f"{counts[s]} {s}" for s in
-                            (PASS, EXPECTED_VIOLATION, FAIL, SKIPPED)
+                            (PASS, EXPECTED_VIOLATION, FAIL, ERROR, SKIPPED)
                             if s in counts)
         lines.append(summary)
         return "\n".join(lines)
@@ -268,14 +273,52 @@ class MatrixRunner:
         self,
         scenarios: Optional[Sequence[Scenario]] = None,
         protocols: Optional[Iterable[ProtocolName]] = None,
+        jobs: int = 1,
     ) -> MatrixResult:
-        """Run every requested cell (default: full library x all five)."""
+        """Run every requested cell (default: full library x all five).
+
+        ``jobs > 1`` farms cells to worker processes (``0`` = one per
+        core).  Every cell builds its cluster from the same explicit
+        seed either way and the results are merged back in canonical
+        cell order, so the matrix -- and its JSON rendering -- is
+        byte-identical to a ``jobs=1`` run.  A cell whose worker raises
+        or dies is recorded with status :data:`ERROR`; the other cells
+        are unaffected.
+        """
         scenarios = list(scenarios) if scenarios is not None \
             else builtin_scenarios()
         protocols = list(protocols) if protocols is not None \
             else list(ProtocolName)
+        tasks = [(self.seed, self.t, protocol, scenario)
+                 for scenario in scenarios
+                 for protocol in protocols]
+        outcomes = parallel_map(_run_cell_task, tasks, jobs=jobs)
         result = MatrixResult(seed=self.seed)
-        for scenario in scenarios:
-            for protocol in protocols:
-                result.cells.append(self.run_cell(protocol, scenario))
+        for (_, _, protocol, scenario), outcome in zip(tasks, outcomes):
+            if outcome.ok:
+                result.cells.append(outcome.value)
+            else:
+                result.cells.append(CellResult(
+                    protocol=protocol.value, scenario=scenario.name,
+                    status=ERROR, seed=self.seed,
+                    detail=_error_summary(outcome.error)))
         return result
+
+
+def _error_summary(trace: Optional[str]) -> str:
+    """Last meaningful line of a worker traceback (fits a cell record)."""
+    lines = [line.strip() for line in (trace or "").splitlines()
+             if line.strip()]
+    return lines[-1] if lines else "worker failed without a traceback"
+
+
+@guard_global_rng
+def _run_cell_task(task) -> CellResult:
+    """One matrix cell, shaped for :func:`parallel_map`.
+
+    The guard asserts the cell path never draws from the module-level
+    ``random`` stream -- forked workers inherit that state, so a global
+    draw would break cross-process determinism.
+    """
+    seed, t, protocol, scenario = task
+    return MatrixRunner(seed=seed, t=t).run_cell(protocol, scenario)

@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.config import ClusterConfig, ProtocolName, WorkloadConfig
 from repro.crypto.costs import CostModel
+from repro.harness.parallel import guard_global_rng, parallel_map
 from repro.net.bandwidth import BandwidthModel
 from repro.net.latency import LatencyModel
 from repro.protocols.registry import build_cluster
@@ -38,6 +39,11 @@ class ExperimentResult:
     #: Open-loop runs only: measured arrival rate and saturation marker.
     offered_load_kops: Optional[float] = None
     saturated: bool = False
+    #: Open-loop runs only: commits whose latency sample had to be
+    #: dropped because no arrival stamp matched (duplicate/late commits
+    #: after a retransmit).  Nonzero values mean the latency summary
+    #: undercounts; they should stay rare.
+    dropped_samples: int = 0
 
     def __str__(self) -> str:
         lat = (f"{self.mean_latency_ms:.1f}"
@@ -126,30 +132,61 @@ class ExperimentRunner:
             offered_load_kops=(driver.offered_load_kops()
                                if workload.open_loop else None),
             saturated=getattr(driver, "saturated", False),
+            dropped_samples=getattr(driver, "dropped_samples", 0),
         )
+
+    def run_points(
+        self,
+        config: ClusterConfig,
+        workloads: Sequence[WorkloadConfig],
+        jobs: int = 1,
+    ) -> List[ExperimentResult]:
+        """One :meth:`run_point` per workload, ``jobs`` at a time.
+
+        Every point builds its own cluster from explicit seeds, so
+        points can run in worker processes; results come back in
+        workload order and are identical to a sequential run.  A point
+        that fails raises (a sweep with a hole is not a curve), naming
+        the failed point.
+        """
+        outcomes = parallel_map(
+            _run_point_task,
+            [(self, config, workload) for workload in workloads],
+            jobs=jobs)
+        results = []
+        for workload, outcome in zip(workloads, outcomes):
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"sweep point (clients={workload.num_clients}, "
+                    f"rate={workload.offered_load_rps}) failed:\n"
+                    f"{outcome.error}")
+            results.append(outcome.value)
+        return results
 
     def sweep_clients(
         self,
         config: ClusterConfig,
         client_counts: Sequence[int],
         base_workload: WorkloadConfig,
+        jobs: int = 1,
     ) -> List[SweepPoint]:
         """Latency-vs-throughput curve: one run per client count."""
-        points = []
-        for count in client_counts:
-            # dataclasses.replace keeps every other workload field intact,
-            # so fields added to WorkloadConfig later are never silently
-            # dropped from sweeps.
-            workload = replace(base_workload, num_clients=count,
-                               seed=base_workload.seed + count)
-            points.append(SweepPoint(count, self.run_point(config, workload)))
-        return points
+        # dataclasses.replace keeps every other workload field intact,
+        # so fields added to WorkloadConfig later are never silently
+        # dropped from sweeps.
+        workloads = [replace(base_workload, num_clients=count,
+                             seed=base_workload.seed + count)
+                     for count in client_counts]
+        results = self.run_points(config, workloads, jobs=jobs)
+        return [SweepPoint(count, result)
+                for count, result in zip(client_counts, results)]
 
     def sweep_offered_load(
         self,
         config: ClusterConfig,
         offered_rps: Sequence[float],
         base_workload: WorkloadConfig,
+        jobs: int = 1,
     ) -> List[SweepPoint]:
         """Open-loop throughput curve: one run per offered arrival rate.
 
@@ -158,16 +195,14 @@ class ExperimentRunner:
         counts -- can be pushed orders of magnitude past the protocol's
         capacity to expose the throughput plateau.
         """
-        points = []
-        for rate in offered_rps:
-            # Unlike sweep_clients, the seed stays fixed: every rate point
-            # sees the same network draw, so curve differences are pure
-            # offered-load effects (arrival draws still differ by rate).
-            workload = replace(base_workload, offered_load_rps=rate)
-            points.append(
-                SweepPoint(workload.num_clients,
-                           self.run_point(config, workload)))
-        return points
+        # Unlike sweep_clients, the seed stays fixed: every rate point
+        # sees the same network draw, so curve differences are pure
+        # offered-load effects (arrival draws still differ by rate).
+        workloads = [replace(base_workload, offered_load_rps=rate)
+                     for rate in offered_rps]
+        results = self.run_points(config, workloads, jobs=jobs)
+        return [SweepPoint(workload.num_clients, result)
+                for workload, result in zip(workloads, results)]
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -186,3 +221,15 @@ class ExperimentRunner:
             lines.append(
                 f"{p.num_clients:>8} {p.result.throughput_kops:9.3f} {lat}")
         return "\n".join(lines)
+
+
+@guard_global_rng
+def _run_point_task(task) -> ExperimentResult:
+    """One sweep point, shaped for :func:`parallel_map`.
+
+    The guard asserts the point path never draws from the module-level
+    ``random`` stream -- forked workers inherit that state, so a global
+    draw would break cross-process determinism.
+    """
+    runner, config, workload = task
+    return runner.run_point(config, workload)

@@ -86,11 +86,21 @@ class _Cohort:
             driver = self.driver
             now = driver.runtime.sim.now
             arrived = driver.arrived_at.pop(channel.client_id, None)
-            if now < driver.workload.duration_ms and arrived is not None:
-                # Open-loop latency runs from the arrival draw, so time
-                # spent queued behind other logical clients counts.
-                driver.latency.record(now, now - arrived)
-                driver.throughput.record(now)
+            if now < driver.workload.duration_ms:
+                if arrived is not None:
+                    # Open-loop latency runs from the arrival draw, so
+                    # time spent queued behind other logical clients
+                    # counts.
+                    driver.latency.record(now, now - arrived)
+                    driver.throughput.record(now)
+                else:
+                    # A commit with no matching arrival stamp: a
+                    # duplicate/late completion for a request whose
+                    # stamp was already consumed (e.g. a retransmit
+                    # committing twice).  Count it instead of silently
+                    # losing the sample, so lossy runs are visible in
+                    # the driver report.
+                    driver.dropped_samples += 1
             if driver._stopped or now >= driver.workload.duration_ms:
                 return
             if self.backlog:
@@ -124,6 +134,10 @@ class CohortDriver(WorkloadDriver):
         self.arrived_at: Dict[int, float] = {}
         self.offered = 0
         self._offered_measured = 0
+        #: Commits that arrived without a matching arrival stamp
+        #: (duplicate/late completions); their latency samples are
+        #: unrecoverable and the count is surfaced via ExperimentResult.
+        self.dropped_samples = 0
         self.cohorts = [
             _Cohort(self, index, channels[index::cohorts], rate_per_ms,
                     random.Random(f"{workload.seed}-cohort-{index}"))

@@ -89,6 +89,28 @@ class TestCohortDriver:
         # far above the uncongested figure.
         assert mean_latency(20_000.0) > 5.0 * mean_latency(50.0)
 
+    def test_duplicate_commit_counts_as_dropped_sample(self):
+        runtime = make_cluster(num_clients=2)
+        driver = CohortDriver(runtime, open_workload(2, rate_rps=100.0))
+        channel = runtime.clients[0]
+        assert driver.dropped_samples == 0
+        # A duplicate/late completion (e.g. a retransmit committing a
+        # second time) finds its arrival stamp already consumed.  The
+        # latency sample is unrecoverable, but it must be *counted*, not
+        # silently swallowed by arrived_at.pop(..., None).
+        channel.on_commit(("dup-rid", 1), 5.0)
+        assert driver.dropped_samples == 1
+        # No phantom metrics were recorded for the stampless commit.
+        assert driver.throughput.total == 0
+        assert driver.latency.summary() is None
+
+    def test_clean_run_reports_zero_dropped_samples(self):
+        runtime = make_cluster(num_clients=4)
+        driver = CohortDriver(runtime, open_workload(4, rate_rps=400.0))
+        driver.run()
+        assert driver.throughput.total > 0
+        assert driver.dropped_samples == 0
+
     def test_open_matches_closed_at_matched_load(self):
         closed_runtime = make_cluster(num_clients=8)
         closed = ClosedLoopDriver(
