@@ -10,12 +10,18 @@ Examples::
         --nines-synchrony 3
     python -m repro tables --which 5
     python -m repro bench --output BENCH_perf.json
+    python -m repro bench --only message_storm --profile
+    python -m repro profile fault-free --protocol xpaxos
 
-``bench`` runs the performance micro-benchmark suite (event churn,
-point-to-point message storm, n-way broadcast storm, closed-loop XPaxos;
-see :mod:`repro.harness.perf`) against both the current hot paths and the
-preserved seed implementation, and writes ``BENCH_perf.json`` so every PR
-records a perf trajectory point.
+``bench`` runs the performance micro-benchmark suite (event churn, heap
+churn at 10^6 pending, same-tick drain, point-to-point message storm,
+n-way broadcast storm, closed-loop XPaxos; see :mod:`repro.harness.perf`)
+against both the current hot paths and the preserved seed implementation,
+and writes ``BENCH_perf.json`` so every PR records a perf trajectory
+point.  ``--only``/``--profile`` narrow or instrument a run for triage
+(such payloads are never recordable); ``profile`` runs one scenario cell
+under cProfile and prints the simulator's and network's hot-loop
+counters next to the wall-clock profile (see ``docs/profiling.md``).
 
 ``scenarios`` runs the conformance matrix: every scenario of the built-in
 library (crash cadences, partitions, Byzantine adversaries, anarchy
@@ -104,15 +110,87 @@ def cmd_bench(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"cannot write {args.output}: {exc}", file=sys.stderr)
         return 2
-    payload = run_suite(
-        events=args.events, messages=args.messages,
-        broadcast_rounds=args.broadcast_rounds, clients=args.clients,
-        duration_ms=args.duration * 1_000.0, seed=args.seed,
-        repeat=args.repeat)
+
+    def _run():
+        return run_suite(
+            events=args.events, messages=args.messages,
+            broadcast_rounds=args.broadcast_rounds, clients=args.clients,
+            duration_ms=args.duration * 1_000.0, seed=args.seed,
+            repeat=args.repeat, heap_backlog=args.heap_pending,
+            heap_churn=args.heap_churn, same_tick_ticks=args.same_tick,
+            only=args.only or None)
+
+    try:
+        if args.profile is not None:
+            from repro.harness.profiling import (
+                dump_stats,
+                format_stats,
+                profile_call,
+            )
+
+            payload, profiler = profile_call(_run)
+            # Instrumented timings are not comparable to clean ones;
+            # marking the payload makes `trajectory record` refuse it.
+            payload["params"]["profiled"] = True
+        else:
+            payload = _run()
+    except ValueError as exc:
+        # e.g. --only with an unknown benchmark name.
+        print(str(exc), file=sys.stderr)
+        return 2
     print("perf suite: current hot paths vs preserved seed implementation")
     print(format_suite(payload))
+    if args.profile is not None:
+        dump_stats(profiler, args.profile)
+        print()
+        print(format_stats(profiler))
+        print(f"wrote profile {args.profile} "
+              f"(load with `python -m pstats {args.profile}`)")
+        print("note: timings above ran under cProfile; the payload is "
+              "marked profiled and cannot be recorded as a trajectory "
+              "point")
     write_suite(payload, args.output)
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one scenario cell: cProfile plus subsystem counters."""
+    from repro.harness.matrix import MatrixRunner
+    from repro.harness.profiling import (
+        dump_stats,
+        profile_call,
+        profile_report,
+        subsystem_counters,
+    )
+    from repro.scenarios.library import get_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    protocol = ProtocolName(args.protocol)
+    if not scenario.applies_to(protocol):
+        print(f"scenario {scenario.name} does not apply to "
+              f"{protocol.value}", file=sys.stderr)
+        return 2
+    runner = MatrixRunner(seed=args.seed, t=args.t)
+    counters = {}
+
+    def collect(runtime):
+        counters.update(subsystem_counters(sim=runtime.sim,
+                                           network=runtime.network))
+
+    cell, profiler = profile_call(
+        lambda: runner.run_cell(protocol, scenario, probe=collect))
+    print(f"{scenario.name} x {protocol.value}: {cell.status} "
+          f"({cell.committed} committed)")
+    print(profile_report(profiler, counters, sort=args.sort,
+                         limit=args.limit))
+    if args.pstats:
+        dump_stats(profiler, args.pstats)
+        print(f"wrote profile {args.pstats}")
     return 0
 
 
@@ -141,8 +219,13 @@ def cmd_trajectory(args: argparse.Namespace) -> int:
         print(f"cannot read {args.payload}: {exc}", file=sys.stderr)
         return 2
     if args.action == "record":
-        path = record_point(payload, history_dir=args.history_dir,
-                            label=args.label)
+        try:
+            path = record_point(payload, history_dir=args.history_dir,
+                                label=args.label)
+        except ValueError as exc:
+            # Partial (--only) or profiled payload: never recordable.
+            print(str(exc), file=sys.stderr)
+            return 2
         print(f"recorded trajectory point {path}")
         return 0
     history = load_history(args.history_dir)
@@ -325,8 +408,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="closed-loop virtual seconds")
     bench.add_argument("--repeat", type=int, default=3,
                        help="timing repetitions (best-of)")
+    bench.add_argument("--heap-pending", type=int, default=1_000_000,
+                       help="heap_churn_1m standing backlog size")
+    bench.add_argument("--heap-churn", type=int, default=100_000,
+                       help="heap_churn_1m cancel/re-arm operations")
+    bench.add_argument("--same-tick", type=int, default=2_000,
+                       help="same_tick_drain tick count")
+    bench.add_argument("--only", action="append", default=[],
+                       metavar="NAME",
+                       help="run only these benchmarks (repeatable); the "
+                            "payload is marked partial and `trajectory "
+                            "record` will refuse it")
+    bench.add_argument("--profile", nargs="?", const="BENCH_perf.pstats",
+                       default=None, metavar="PSTATS",
+                       help="run the suite under cProfile, dump raw "
+                            "pstats (default %(const)s) and print the "
+                            "top functions; the payload is marked "
+                            "profiled and not recordable")
     bench.add_argument("--output", default="BENCH_perf.json")
     bench.set_defaults(func=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one scenario cell (cProfile + subsystem counters)")
+    profile.add_argument("scenario",
+                         help="scenario name "
+                              "(see `repro scenarios --list`)")
+    profile.add_argument("--protocol", default="xpaxos",
+                         choices=[p.value for p in ProtocolName])
+    profile.add_argument("--t", type=int, default=1)
+    profile.add_argument("--sort", default="cumulative",
+                         help="pstats sort key (cumulative, tottime, ...)")
+    profile.add_argument("--limit", type=int, default=25,
+                         help="profile rows to print")
+    profile.add_argument("--pstats", default=None, metavar="PATH",
+                         help="also dump the raw pstats file")
+    profile.set_defaults(func=cmd_profile)
 
     trajectory = sub.add_parser(
         "trajectory",

@@ -95,10 +95,28 @@ class Authenticator:
         """Per-receiver authenticator (default: none)."""
         return None
 
+    def context_digest(self, context: Any) -> Optional[Digest]:
+        """The body digest carried by a fan-out context, if any.
+
+        The transport publishes it through ``Network.delivery_digest``
+        while a delivery callback runs, so the receiving runtime can hand
+        it back to :meth:`verify` as ``body_digest`` and skip re-hashing
+        a payload the transport itself hashed (default: no digest).
+        """
+        return None
+
     def verify(self, keystore: KeyStore, cpu: CpuMeter, sender: Principal,
                receiver: Principal, body: Any, auth: Any,
-               size_bytes: int = 0) -> bool:
-        """Delivery-time check (default: accept)."""
+               size_bytes: int = 0,
+               body_digest: Optional[Digest] = None) -> bool:
+        """Delivery-time check (default: accept).
+
+        ``body_digest`` is the transport-computed digest of ``body``
+        (from ``Network.delivery_digest``); policies may trust it in
+        place of re-hashing the payload.  Callers outside the transport
+        (e.g. forged-injection tests calling the receiver directly) pass
+        ``None`` and get the full check.
+        """
         return True
 
     def charge_send(self, cpu: CpuMeter, receivers: int,
@@ -135,16 +153,20 @@ class MacVectorAuthenticator(Authenticator):
               receiver: Principal, context: Digest) -> Mac:
         return keystore.mac_digest(sender, receiver, context)
 
+    def context_digest(self, context: Digest) -> Optional[Digest]:
+        return context
+
     def verify(self, keystore: KeyStore, cpu: CpuMeter, sender: Principal,
                receiver: Principal, body: Any, auth: Any,
-               size_bytes: int = 0) -> bool:
+               size_bytes: int = 0,
+               body_digest: Optional[Digest] = None) -> bool:
         cpu.charge_mac(size_bytes)
-        return (
-            isinstance(auth, Mac)
-            and auth.sender == sender
-            and auth.receiver == receiver
-            and keystore.verify_mac(auth, body)
-        )
+        if not (isinstance(auth, Mac) and auth.sender == sender
+                and auth.receiver == receiver):
+            return False
+        if body_digest is not None:
+            return keystore.verify_mac_digest(auth, body_digest)
+        return keystore.verify_mac(auth, body)
 
     def charge_send(self, cpu: CpuMeter, receivers: int,
                     size_bytes: int = 0) -> None:
@@ -166,15 +188,21 @@ class SignatureAuthenticator(Authenticator):
               receiver: Principal, context: Signature) -> Signature:
         return context
 
+    def context_digest(self, context: Signature) -> Optional[Digest]:
+        # The transport signed the very body object it delivers, so the
+        # signature's digest *is* the trusted digest of that body.
+        return context.digest if context is not None else None
+
     def verify(self, keystore: KeyStore, cpu: CpuMeter, sender: Principal,
                receiver: Principal, body: Any, auth: Any,
-               size_bytes: int = 0) -> bool:
+               size_bytes: int = 0,
+               body_digest: Optional[Digest] = None) -> bool:
         cpu.charge_verify()
-        return (
-            isinstance(auth, Signature)
-            and auth.signer == sender
-            and keystore.verify(auth, body)
-        )
+        if not (isinstance(auth, Signature) and auth.signer == sender):
+            return False
+        if body_digest is not None:
+            return keystore.verify_digest(auth, body_digest)
+        return keystore.verify(auth, body)
 
     def charge_send(self, cpu: CpuMeter, receivers: int,
                     size_bytes: int = 0) -> None:

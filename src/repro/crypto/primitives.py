@@ -218,6 +218,19 @@ class KeyStore:
                                               digest)
         )
 
+    def verify_mac_digest(self, mac: Mac, digest: Digest) -> bool:
+        """Check a MAC against an already computed payload digest.
+
+        The delivery-time fast path: the transport hashes a fan-out's
+        body once and hands the digest to each receiver, which then only
+        derives the channel token instead of re-hashing the payload.
+        """
+        return (
+            mac.digest == digest
+            and mac._token == self._mac_token(mac.sender, mac.receiver,
+                                              digest)
+        )
+
     def forge_attempt(self, forger: Principal, victim: Principal,
                       payload: Any) -> Signature:
         """Produce the *invalid* signature a Byzantine ``forger`` would get

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.config import (
     ClusterConfig,
@@ -166,8 +166,16 @@ class MatrixRunner:
         return ClusterConfig(t=t, protocol=protocol, **params)
 
     def run_cell(self, protocol: ProtocolName,
-                 scenario: Scenario) -> CellResult:
-        """Run one cell and grade it."""
+                 scenario: Scenario,
+                 probe: Optional[Callable] = None) -> CellResult:
+        """Run one cell and grade it.
+
+        ``probe``, if given, is called with the cell's runtime after the
+        workload finishes but before grading -- ``repro profile`` uses it
+        to collect ``runtime.sim.stats()`` and network counters without
+        the runner having to know about profiling.  Probes must not
+        mutate the runtime (grading reads it next).
+        """
         if not scenario.applies_to(protocol):
             return CellResult(protocol=protocol.value,
                               scenario=scenario.name, status=SKIPPED,
@@ -200,6 +208,8 @@ class MatrixRunner:
             runtime, WorkloadConfig(**scenario.workload_kwargs()))
         driver.run()
 
+        if probe is not None:
+            probe(runtime)
         return self._grade(protocol, scenario, runtime, checker, liveness,
                            driver)
 

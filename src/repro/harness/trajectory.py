@@ -99,13 +99,29 @@ def best_speedups(history: List[Dict[str, Any]]) -> Dict[str, float]:
     return best
 
 
+def is_partial(payload: Dict[str, Any]) -> bool:
+    """Was this payload produced by ``repro bench --only`` (a triage
+    subset) or under ``--profile`` (instrumented timings)?
+
+    Partial/instrumented payloads may be *checked* (each present
+    benchmark is still gated) but never *recorded*: a subset would
+    disarm the missing-benchmark guard for everyone after it, and
+    profiled timings are not comparable to clean ones.
+    """
+    params = payload.get("params", {})
+    return bool(params.get("only")) or bool(params.get("profiled"))
+
+
 def check_point(payload: Dict[str, Any],
                 history: List[Dict[str, Any]],
                 tolerance: float = TOLERANCE) -> List[str]:
     """Regression messages for ``payload`` against the trajectory.
 
     Empty list = gate passes.  An empty history passes by definition
-    (the first recorded point seeds the trajectory).
+    (the first recorded point seeds the trajectory).  A partial payload
+    (``repro bench --only``) is gated only on the benchmarks it
+    contains; the missing-benchmark guard is skipped, since the subset
+    declares itself in ``params.only``.
     """
     problems: List[str] = []
     best = best_speedups(history)
@@ -122,18 +138,30 @@ def check_point(payload: Dict[str, Any],
                 f"{best[name]:.2f}x (floor {floor:.2f}x)")
     # A gated benchmark cannot vanish from the suite unnoticed: removing
     # or renaming it is the quietest way to give a speedup back.
-    for name in sorted(best):
-        if name not in benchmarks:
-            problems.append(
-                f"{name}: on the trajectory (best {best[name]:.2f}x) but "
-                f"missing from this payload -- removed or renamed?")
+    if not is_partial(payload):
+        for name in sorted(best):
+            if name not in benchmarks:
+                problems.append(
+                    f"{name}: on the trajectory (best {best[name]:.2f}x) "
+                    f"but missing from this payload -- removed or renamed?")
     return problems
 
 
 def record_point(payload: Dict[str, Any],
                  history_dir: str = HISTORY_DIR,
                  label: Optional[str] = None) -> str:
-    """Archive ``payload`` as a trajectory point; returns the file path."""
+    """Archive ``payload`` as a trajectory point; returns the file path.
+
+    Raises:
+        ValueError: for a partial (``--only``) or profiled payload --
+            recording one would either disarm the missing-benchmark
+            guard or bank instrumented (non-comparable) timings.
+    """
+    if is_partial(payload):
+        raise ValueError(
+            "refusing to record a partial/profiled payload as a "
+            "trajectory point (produced with --only or --profile); "
+            "run the full suite uninstrumented")
     os.makedirs(history_dir, exist_ok=True)
     point = _point_from_suite(payload, label=label)
     stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
@@ -173,6 +201,9 @@ def format_check(payload: Dict[str, Any],
         else:
             lines.append(f"{name:>24} {speedup:8.2f}x {'--':>9} {'--':>9} "
                          f"{'seeding':>8}")
+    if is_partial(payload):
+        lines.append("(partial/profiled payload: gated on present "
+                     "benchmarks only, not recordable)")
     if not history:
         lines.append("(history empty: this run seeds the trajectory)")
     return "\n".join(lines)

@@ -65,8 +65,12 @@ class BandwidthModel:
         """
         if size_bytes < 0:
             raise ValueError("size must be >= 0")
-        link = self._uplink(node)
-        start = max(now, link.free_at)
+        link = self._uplinks.get(node)
+        if link is None:
+            link = _Uplink(rate=self._default_rate)
+            self._uplinks[node] = link
+        free_at = link.free_at
+        start = now if now > free_at else free_at
         departure = start + size_bytes / link.rate
         link.free_at = departure
         link.bytes_sent += size_bytes

@@ -128,7 +128,18 @@ class LatencyModel:
         #: window share a single deviation draw; the marginal distribution
         #: (and thus the Table 3 regeneration) is unchanged.
         self.correlation_window_ms = correlation_window_ms
+        #: Cached *sample* per (directed link, window).  Within one window
+        #: the deviation draw is shared, and the fit is fixed per link, so
+        #: the finished sample is as shareable as the raw deviation --
+        #: caching it keeps ``exp`` off the per-message path.
         self._window_draws: Dict[Tuple[str, str, int], float] = {}
+        #: Lazily cached log-normal fit per directed link:
+        #: ``(median, mu, sigma, half_max)``.  The fit is a pure function
+        #: of the immutable LinkStats, so caching it cannot change a
+        #: sample -- it only removes two ``log`` calls per draw from the
+        #: send hot path.
+        self._fit: Dict[Tuple[str, str], Tuple[float, float, float,
+                                               float]] = {}
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -181,32 +192,41 @@ class LatencyModel:
         """
         if a == b:
             return self.intra_site_ms
-        st = self.stats(a, b)
-        median = st.avg_ms / 2.0
+        fit = self._fit.get((a, b))
+        if fit is None:
+            st = self.stats(a, b)
+            median = st.avg_ms / 2.0
+            p9999 = st.p9999_ms / 2.0
+            mu = math.log(median)
+            sigma = (math.log(p9999) - mu) / _Z_9999
+            fit = (median, mu, sigma, st.max_ms / 2.0)
+            self._fit[(a, b)] = fit
         if self.deterministic:
-            return median
-        p9999 = st.p9999_ms / 2.0
-        mu = math.log(median)
-        sigma = (math.log(p9999) - mu) / _Z_9999
-        z = self._deviation(a, b, now)
-        sample = math.exp(mu + sigma * z)
-        # Cap at the observed maximum: Table 3's max column bounds reality.
-        return min(sample, st.max_ms / 2.0)
-
-    def _deviation(self, a: str, b: str, now: Optional[float]) -> float:
-        """Standard-normal deviation, shared per (link, window) when a
-        timestamp is given."""
-        if now is None or self.correlation_window_ms <= 0:
-            return self._rng.gauss(0.0, 1.0)
-        window = int(now // self.correlation_window_ms)
-        key = (a, b, window)
-        draw = self._window_draws.get(key)
-        if draw is None:
-            if len(self._window_draws) > 65_536:
-                self._window_draws.clear()
-            draw = self._rng.gauss(0.0, 1.0)
-            self._window_draws[key] = draw
-        return draw
+            return fit[0]
+        window_ms = self.correlation_window_ms
+        if now is not None and window_ms > 0:
+            # Correlated mode: one deviation draw -- and therefore one
+            # finished sample -- per (directed link, window).
+            key = (a, b, int(now // window_ms))
+            draws = self._window_draws
+            sample = draws.get(key)
+            if sample is not None:
+                return sample
+            if len(draws) > 65_536:
+                draws.clear()
+            z = self._rng.gauss(0.0, 1.0)
+            sample = math.exp(fit[1] + fit[2] * z)
+            # Cap at the observed maximum: Table 3's max column bounds
+            # reality.
+            half_max = fit[3]
+            if sample >= half_max:
+                sample = half_max
+            draws[key] = sample
+            return sample
+        z = self._rng.gauss(0.0, 1.0)
+        sample = math.exp(fit[1] + fit[2] * z)
+        half_max = fit[3]
+        return sample if sample < half_max else half_max
 
     def rtt_trace(self, a: str, b: str, n: int) -> "list[float]":
         """Generate ``n`` synthetic RTT samples for the Table 3 regeneration

@@ -12,19 +12,45 @@ order, which some baseline protocols (Zab) assume.
 
 Hot path: :meth:`Network.send` is executed once per protocol message, which
 makes it (with the event loop) the throughput ceiling of every experiment.
-It therefore avoids per-message closures and :class:`EventHandle` creation
-(delivery is scheduled through :meth:`Simulator.schedule` with the target
-passed as args), touches FIFO bookkeeping only when FIFO is on, and looks
+It therefore avoids per-message closures, :class:`EventHandle` creation and
+the :class:`Event` object itself (deliveries are never cancelled, so they
+ride :meth:`Simulator.post` as bare heap tuples with the target passed as
+args), touches FIFO bookkeeping only when FIFO is on, and looks
 each endpoint up exactly once.  :meth:`multicast` amortizes the sender-side
 checks across an n-way broadcast while remaining observationally identical
 to n sequential sends (same stats, same RNG draw order, same delivery
 order).
+
+Coalesced delivery
+------------------
+
+A fan-out whose receivers share an arrival instant (same-site peers behind
+the constant intra-site delay, or inter-site receivers sharing a
+correlated latency draw) schedules **one** event per distinct arrival tick
+instead of one per receiver; the batch callback walks its receivers in
+destination order.  This is observationally identical to per-receiver
+entries: within one fan-out no other event can acquire a sequence number
+between two batch members (the fan-out loop schedules nothing else), and
+batch members fire back-to-back in destination order exactly as their
+per-receiver entries would have.  Crash checks still happen per receiver
+at delivery time, *inside* the drain.  On the authenticated path the
+per-receiver MAC vector is stamped inside the drain too, so a receiver
+that crashed mid-flight never costs a MAC.  ``Network(coalesce=False)``
+restores per-receiver scheduling for the equivalence tests.
+
+Authenticated deliveries also publish the fan-out's body digest through
+:attr:`Network.delivery_digest` for the duration of the delivery callback.
+The digest was computed by the transport from the very body object being
+delivered, so the receiving runtime may hand it to
+``Authenticator.verify(..., body_digest=...)`` and skip re-hashing the
+payload -- a forged injection that bypasses the transport sees ``None``
+and pays the full check.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.net.bandwidth import BandwidthModel
@@ -60,15 +86,27 @@ class Endpoint:
 _NO_CONTEXT = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
-    """Counters exposed for tests and the harness."""
+    """Counters exposed for tests, the harness and ``repro profile``.
+
+    Slotted: the counters are bumped up to three times per message, so
+    attribute access here is hot-path cost."""
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped_partition: int = 0
     messages_dropped_crash: int = 0
     bytes_sent: int = 0
+    #: Shared delivery events scheduled by the coalesced fan-out path.
+    coalesced_ticks: int = 0
+    #: Receivers whose delivery rode a shared (coalesced) event.
+    coalesced_deliveries: int = 0
+    #: Per-receiver authenticators stamped by the transport.
+    auth_stamped: int = 0
+    #: Deliveries whose authenticator the receiving runtime verified
+    #: (incremented by the runtime; failures are per-node counters).
+    auth_verified: int = 0
 
 
 class Network:
@@ -80,6 +118,10 @@ class Network:
         bandwidth: optional uplink model; None disables serialization delay
             (unit tests).
         fifo: deliver per ordered pair in send order.
+        coalesce: schedule one delivery event per distinct fan-out arrival
+            tick (see module notes).  ``False`` restores per-receiver
+            scheduling -- observably identical, kept for the equivalence
+            tests.
     """
 
     def __init__(
@@ -88,15 +130,22 @@ class Network:
         latency: LatencyModel,
         bandwidth: Optional[BandwidthModel] = None,
         fifo: bool = False,
+        coalesce: bool = True,
     ) -> None:
         self.sim = sim
         self.latency = latency
         self.bandwidth = bandwidth
         self.partitions = PartitionController()
         self.fifo = fifo
+        self.coalesce = coalesce
         self.stats = NetworkStats()
         self._endpoints: Dict[str, Endpoint] = {}
         self._last_delivery: Dict[tuple, float] = {}
+        #: Body digest of the authenticated delivery currently in flight
+        #: (set around the ``deliver_auth`` callback, ``None`` otherwise).
+        #: The receiver runtime passes it to ``Authenticator.verify`` as
+        #: the trusted transport-computed digest of the delivered body.
+        self.delivery_digest: Any = None
         #: Optional hook called as ``on_send(src, dst, payload) -> bool``;
         #: returning False drops the message.  Used by adversarial tests to
         #: delay or censor traffic.
@@ -130,6 +179,61 @@ class Network:
         self.stats.messages_delivered += 1
         target.deliver(src, payload)
 
+    def _deliver_batch(self, targets: Sequence[Endpoint], src: str,
+                       payload: Any) -> None:
+        """Coalesced delivery: one event, several same-tick receivers.
+
+        Receivers are walked in destination order; crash checks happen
+        here, per receiver, exactly as they would in per-receiver events.
+        """
+        stats = self.stats
+        for target in targets:
+            if not target.is_up():
+                stats.messages_dropped_crash += 1
+                continue
+            stats.messages_delivered += 1
+            target.deliver(src, payload)
+
+    def _schedule_deliveries(self, deliveries: List[tuple], src: str,
+                             payload: Any) -> None:
+        """Second half of a fan-out: one event per distinct arrival tick.
+
+        ``deliveries`` is the fan-out's ``(arrival, target)`` list in
+        destination order (latency/bandwidth already drawn, drops already
+        filtered).  Grouping preserves delivery order: distinct arrivals
+        never tie, and within one arrival the batch fires in destination
+        order -- the same order per-receiver entries would have, since no
+        other event can be scheduled between two members of one fan-out.
+        """
+        post = self.sim.post
+        deliver = self._deliver
+        if not self.coalesce or len(deliveries) < 2:
+            for arrival, target in deliveries:
+                post(arrival, deliver, (target, src, payload))
+            return
+        groups: Dict[float, Any] = {}
+        for arrival, target in deliveries:
+            prev = groups.get(arrival)
+            if prev is None:
+                groups[arrival] = target
+            elif type(prev) is list:
+                prev.append(target)
+            else:
+                groups[arrival] = [prev, target]
+        if len(groups) == len(deliveries):
+            for arrival, target in deliveries:
+                post(arrival, deliver, (target, src, payload))
+            return
+        stats = self.stats
+        deliver_batch = self._deliver_batch
+        for arrival, entry in groups.items():
+            if type(entry) is list:
+                stats.coalesced_ticks += 1
+                stats.coalesced_deliveries += len(entry)
+                post(arrival, deliver_batch, (tuple(entry), src, payload))
+            else:
+                post(arrival, deliver, (entry, src, payload))
+
     def send(self, src: str, dst: str, payload: Any,
              size_bytes: int = 0) -> None:
         """Send ``payload`` from ``src`` to ``dst``.
@@ -155,7 +259,8 @@ class Network:
             # fault injector can race a crash with an in-progress handler.
             stats.messages_dropped_crash += 1
             return
-        if self.partitions.blocked(src, dst):
+        partitions = self.partitions
+        if partitions._blocked and partitions.blocked(src, dst):
             stats.messages_dropped_partition += 1
             return
         if self.send_filter is not None and not self.send_filter(
@@ -164,7 +269,7 @@ class Network:
             return
 
         sim = self.sim
-        depart = sim.now
+        depart = sim._now  # property bypass: once per protocol message
         if (self.bandwidth is not None and size_bytes > 0
                 and source.site != target.site):
             depart = self.bandwidth.serialize(src, size_bytes, depart)
@@ -178,7 +283,7 @@ class Network:
                 arrival = last
             self._last_delivery[key] = arrival
 
-        sim.schedule(arrival, self._deliver, (target, src, payload))
+        sim.post(arrival, self._deliver, (target, src, payload))
 
     def multicast(self, src: str, dsts: Sequence[str], payload: Any,
                   size_bytes: int = 0) -> None:
@@ -189,7 +294,7 @@ class Network:
         (in the same RNG order), same FIFO interaction -- but the sender
         side (endpoint lookup, liveness check, filter probe, bandwidth and
         latency model dereferences) is resolved once instead of n times,
-        and no payload pipeline state is rebuilt per destination.
+        and receivers sharing an arrival tick share one delivery event.
         """
         endpoints = self._endpoints
         source = endpoints.get(src)
@@ -199,17 +304,18 @@ class Network:
         up = source.is_up()
 
         sim = self.sim
+        blocked_pairs = self.partitions._blocked
         blocked = self.partitions.blocked
         send_filter = self.send_filter
         bandwidth = self.bandwidth
         sample = self.latency.sample_one_way
-        schedule = sim.schedule
-        deliver = self._deliver
         fifo = self.fifo
         src_site = source.site
         charge_uplink = bandwidth is not None and size_bytes > 0
-        now = sim.now
+        now = sim._now  # property bypass: once per fan-out
 
+        deliveries: List[tuple] = []
+        append = deliveries.append
         for dst in dsts:
             target = endpoints.get(dst)
             if target is None:
@@ -219,7 +325,7 @@ class Network:
             if not up:
                 stats.messages_dropped_crash += 1
                 continue
-            if blocked(src, dst):
+            if blocked_pairs and blocked(src, dst):
                 stats.messages_dropped_partition += 1
                 continue
             if send_filter is not None and not send_filter(
@@ -236,7 +342,9 @@ class Network:
                 if last > arrival:
                     arrival = last
                 self._last_delivery[key] = arrival
-            schedule(arrival, deliver, (target, src, payload))
+            append((arrival, target))
+        if deliveries:
+            self._schedule_deliveries(deliveries, src, payload)
 
     def broadcast(self, src: str, dsts: Iterable[str], payload: Any,
                   size_bytes: int = 0) -> None:
@@ -250,7 +358,8 @@ class Network:
     # Authenticated delivery (per-receiver MACs stamped at fan-out time)
     # ------------------------------------------------------------------
     def _deliver_auth(self, target: Endpoint, src: str, body: Any,
-                      auth: Any, size_bytes: int) -> None:
+                      auth: Any, size_bytes: int,
+                      digest: Any = None) -> None:
         """Delivery-time half of an authenticated send."""
         if not target.is_up():
             self.stats.messages_dropped_crash += 1
@@ -258,9 +367,41 @@ class Network:
         self.stats.messages_delivered += 1
         deliver_auth = target.deliver_auth
         if deliver_auth is not None:
-            deliver_auth(src, body, auth, size_bytes)
+            self.delivery_digest = digest
+            try:
+                deliver_auth(src, body, auth, size_bytes)
+            finally:
+                self.delivery_digest = None
         else:
             target.deliver(src, body)
+
+    def _deliver_auth_batch(self, targets: Sequence[Endpoint],
+                            shared: tuple) -> None:
+        """Coalesced authenticated delivery: the per-receiver MAC vector
+        is stamped here, inside the drain, so a receiver that crashed
+        mid-flight never costs a stamp.  Stamps are pure functions of
+        ``(keystore, src, receiver, context)``, so drain-time stamping is
+        byte-identical to fan-out-time stamping."""
+        src, body, context, digest, wire_bytes, authenticator, keystore = \
+            shared
+        stats = self.stats
+        stamp = authenticator.stamp
+        for target in targets:
+            if not target.is_up():
+                stats.messages_dropped_crash += 1
+                continue
+            stats.messages_delivered += 1
+            auth = stamp(keystore, src, target.name, context)
+            stats.auth_stamped += 1
+            deliver_auth = target.deliver_auth
+            if deliver_auth is not None:
+                self.delivery_digest = digest
+                try:
+                    deliver_auth(src, body, auth, wire_bytes)
+                finally:
+                    self.delivery_digest = None
+            else:
+                target.deliver(src, body)
 
     def send_authenticated(self, src: str, dst: str, payload: Any,
                            size_bytes: int = 0, *,
@@ -285,7 +426,8 @@ class Network:
         if not source.is_up():
             stats.messages_dropped_crash += 1
             return
-        if self.partitions.blocked(src, dst):
+        partitions = self.partitions
+        if partitions._blocked and partitions.blocked(src, dst):
             stats.messages_dropped_partition += 1
             return
         if self.send_filter is not None and not self.send_filter(
@@ -294,7 +436,7 @@ class Network:
             return
 
         sim = self.sim
-        depart = sim.now
+        depart = sim._now  # property bypass: once per protocol message
         if (self.bandwidth is not None and wire_bytes > 0
                 and source.site != target.site):
             depart = self.bandwidth.serialize(src, wire_bytes, depart)
@@ -308,10 +450,12 @@ class Network:
                 arrival = last
             self._last_delivery[key] = arrival
 
-        auth = authenticator.stamp(
-            keystore, src, dst, authenticator.begin(keystore, src, payload))
-        sim.schedule(arrival, self._deliver_auth,
-                     (target, src, payload, auth, wire_bytes))
+        context = authenticator.begin(keystore, src, payload)
+        auth = authenticator.stamp(keystore, src, dst, context)
+        stats.auth_stamped += 1
+        sim.post(arrival, self._deliver_auth,
+                     (target, src, payload, auth, wire_bytes,
+                      authenticator.context_digest(context)))
 
     def multicast_authenticated(self, src: str, dsts: Sequence[str],
                                 payload: Any, size_bytes: int = 0, *,
@@ -319,14 +463,16 @@ class Network:
                                 context: Any = _NO_CONTEXT) -> None:
         """Fan ``payload`` out with a per-receiver authenticator.
 
-        The per-receiver MAC (or shared signature) is computed *here*, at
-        delivery fan-out time, instead of being embedded in the payload
-        by the protocol layer: the payload stays identical across
-        receivers (so the fan-out shares one pass over the sender-side
-        bookkeeping, like :meth:`multicast`), the policy's shared context
-        -- typically the payload digest -- is computed once, and each
-        receiver is charged ``size_bytes + authenticator.auth_bytes``,
-        the authenticator bytes that receiver actually sees on the wire.
+        The per-receiver MAC (or shared signature) is computed at
+        delivery time, not embedded in the payload by the protocol layer:
+        the payload stays identical across receivers (so the fan-out
+        shares one pass over the sender-side bookkeeping, like
+        :meth:`multicast`), the policy's shared context -- typically the
+        payload digest -- is computed once, and each receiver is charged
+        ``size_bytes + authenticator.auth_bytes``, the authenticator
+        bytes that receiver actually sees on the wire.  Receivers sharing
+        an arrival tick share one delivery event and are stamped inside
+        its drain.
 
         Latency/bandwidth draws happen in destination order, exactly as
         in :meth:`multicast`.
@@ -339,24 +485,24 @@ class Network:
         up = source.is_up()
 
         sim = self.sim
+        blocked_pairs = self.partitions._blocked
         blocked = self.partitions.blocked
         send_filter = self.send_filter
         bandwidth = self.bandwidth
         sample = self.latency.sample_one_way
-        schedule = sim.schedule
-        deliver = self._deliver_auth
-        stamp = authenticator.stamp
         fifo = self.fifo
         src_site = source.site
         wire_bytes = size_bytes + authenticator.auth_bytes
         charge_uplink = bandwidth is not None and wire_bytes > 0
-        now = sim.now
+        now = sim._now  # property bypass: once per fan-out
         # A split fan-out (self-processing mid-list) passes the shared
         # context in so the payload digest stays one-per-fan-out.
         if context is _NO_CONTEXT:
             context = authenticator.begin(keystore, src, payload) \
                 if up else None
 
+        deliveries: List[tuple] = []
+        append = deliveries.append
         for dst in dsts:
             target = endpoints.get(dst)
             if target is None:
@@ -366,7 +512,7 @@ class Network:
             if not up:
                 stats.messages_dropped_crash += 1
                 continue
-            if blocked(src, dst):
+            if blocked_pairs and blocked(src, dst):
                 stats.messages_dropped_partition += 1
                 continue
             if send_filter is not None and not send_filter(
@@ -383,9 +529,50 @@ class Network:
                 if last > arrival:
                     arrival = last
                 self._last_delivery[key] = arrival
-            auth = stamp(keystore, src, dst, context)
-            schedule(arrival, deliver,
-                     (target, src, payload, auth, wire_bytes))
+            append((arrival, target))
+        if not deliveries:
+            return
+
+        digest = authenticator.context_digest(context)
+        post = sim.post
+        stamp = authenticator.stamp
+        deliver = self._deliver_auth
+        if not self.coalesce or len(deliveries) < 2:
+            for arrival, target in deliveries:
+                auth = stamp(keystore, src, target.name, context)
+                stats.auth_stamped += 1
+                post(arrival, deliver,
+                         (target, src, payload, auth, wire_bytes, digest))
+            return
+        groups: Dict[float, Any] = {}
+        for arrival, target in deliveries:
+            prev = groups.get(arrival)
+            if prev is None:
+                groups[arrival] = target
+            elif type(prev) is list:
+                prev.append(target)
+            else:
+                groups[arrival] = [prev, target]
+        if len(groups) == len(deliveries):
+            for arrival, target in deliveries:
+                auth = stamp(keystore, src, target.name, context)
+                stats.auth_stamped += 1
+                post(arrival, deliver,
+                         (target, src, payload, auth, wire_bytes, digest))
+            return
+        shared = (src, payload, context, digest, wire_bytes,
+                  authenticator, keystore)
+        deliver_batch = self._deliver_auth_batch
+        for arrival, entry in groups.items():
+            if type(entry) is list:
+                stats.coalesced_ticks += 1
+                stats.coalesced_deliveries += len(entry)
+                post(arrival, deliver_batch, (tuple(entry), shared))
+            else:
+                auth = stamp(keystore, src, entry.name, context)
+                stats.auth_stamped += 1
+                post(arrival, deliver,
+                         (entry, src, payload, auth, wire_bytes, digest))
 
     # ------------------------------------------------------------------
     def timely(self, a: str, b: str, delta_ms: float) -> bool:

@@ -16,27 +16,58 @@ Design notes
 * **Allocation discipline**: the heap stores plain ``(time, sequence,
   event)`` tuples (C-speed comparisons; the event object itself is never
   compared), :class:`Event` has ``__slots__``, and executed or compacted
-  events are recycled through a free pool.  At steady state the hot loop
+  events are recycled through a free pool.  The pool cap scales with the
+  peak number of pending events (bounded by :data:`_POOL_CAP_MAX`), so a
+  run holding 10⁶ events in flight recycles at the same rate as a small
+  one instead of thrashing the allocator.  At steady state the hot loop
   schedules and fires events with no per-event allocation beyond the heap
-  tuple.  Callers that never cancel (message delivery) can use
-  :meth:`Simulator.schedule` to skip the :class:`EventHandle` too.
+  tuple.  Callers that never cancel can use :meth:`Simulator.schedule` to
+  skip the :class:`EventHandle`, or :meth:`Simulator.post` (message
+  delivery) to skip the :class:`Event` object entirely -- a light posting
+  is a bare ``(time, sequence, None, callback, args)`` heap tuple.
+* **Same-tick fast lane**: events scheduled at exactly ``now`` --
+  ``call_soon`` kicks, zero-latency deliveries, parked-flush pumps -- go
+  to a plain FIFO instead of the heap and are drained without a
+  ``heappush``/``heappop`` per event.  Ordering is unchanged: every heap
+  entry was pushed with a strictly earlier ``now`` (scheduling in the
+  past raises, and ``time == now`` routes to the FIFO), so at any instant
+  all heap entries due at ``now`` carry *smaller* sequence numbers than
+  every FIFO entry, and the drain takes the heap first while its head is
+  due.  ``Simulator(batch_drain=False)`` disables the lane; the
+  equivalence tests in ``tests/sim/test_core.py`` drive both modes
+  through identical schedules.
+
+:meth:`Simulator.stats` exposes the hot-loop counters (heap ops, fast-lane
+traffic, pool hit-rate, compactions) for ``repro profile`` and
+``repro bench --profile``; see ``docs/profiling.md``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
 Callback = Callable[..., None]
 
-#: Recycled-event pool cap; beyond this, events are left to the GC.
+#: Recycled-event pool floor; the effective cap scales with the peak
+#: number of pending events up to :data:`_POOL_CAP_MAX` (a pool never
+#: holds more events than were simultaneously live, so it cannot raise
+#: peak memory -- it only delays the GC).
 _POOL_CAP = 8192
+
+#: Hard bound on the recycled-event pool.
+_POOL_CAP_MAX = 1 << 20
 
 #: Compact the heap when more than this many entries are cancelled *and*
 #: they outnumber the live entries (both conditions, like asyncio).
 _COMPACT_MIN_CANCELLED = 64
+
+#: Hot-loop aliases: skip the module-attribute (and __init__ frame) per
+#: scheduled event.
+_heappush = heapq.heappush
 
 
 class Event:
@@ -59,6 +90,9 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+
+
+_new_event = Event.__new__
 
 
 class EventHandle:
@@ -104,16 +138,30 @@ class Simulator:
 
     The simulator never advances past an event without executing it, and it
     raises :class:`SimulationError` on attempts to schedule in the past.
+
+    Args:
+        batch_drain: route events scheduled at exactly ``now`` through the
+            same-tick FIFO lane (see the module design notes).  ``False``
+            forces every event through the heap -- observably identical,
+            kept for the equivalence tests.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, batch_drain: bool = True) -> None:
         self._now: float = 0.0
         self._queue: List[Tuple[float, int, Event]] = []
+        self._fifo: Deque[Event] = deque()
+        self._batch_drain = batch_drain
         self._sequence: int = 0
         self._executed: int = 0
         self._live: int = 0
+        self._peak_live: int = 0
         self._cancelled_queued: int = 0
         self._pool: List[Event] = []
+        self._pool_cap: int = _POOL_CAP
+        self._pool_hits: int = 0
+        self._fast_lane: int = 0
+        self._compactions: int = 0
+        self._compaction_dropped: int = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -138,6 +186,39 @@ class Simulator:
         """Total events executed so far (statistics/debugging)."""
         return self._executed
 
+    def stats(self) -> Dict[str, Any]:
+        """Hot-loop subsystem counters (see ``docs/profiling.md``).
+
+        All counters are maintained for free or nearly so: heap pops and
+        total cancellations are derived from conservation identities
+        (``scheduled = executed + pending + cancelled``; every entry
+        leaves the heap by pop or by compaction) rather than counted in
+        the hot loop.
+        """
+        scheduled = self._sequence
+        fast = self._fast_lane
+        heap_pushes = scheduled - fast
+        heap_pops = heap_pushes - len(self._queue) - self._compaction_dropped
+        return {
+            "now_ms": self._now,
+            "scheduled": scheduled,
+            "executed": self._executed,
+            "pending": self._live,
+            "cancelled": scheduled - self._executed - self._live,
+            "heap_pushes": heap_pushes,
+            "heap_pops": heap_pops,
+            "fast_lane": fast,
+            "fast_lane_fraction": fast / scheduled if scheduled else 0.0,
+            "compactions": self._compactions,
+            "compaction_dropped": self._compaction_dropped,
+            "peak_pending": self._peak_live,
+            "pool_cap": self._pool_cap,
+            "pool_size": len(self._pool),
+            "pool_hits": self._pool_hits,
+            "pool_hit_rate": self._pool_hits / scheduled if scheduled
+            else 0.0,
+        }
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -157,7 +238,8 @@ class Simulator:
         Raises:
             SimulationError: if ``time`` is in the past.
         """
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
@@ -165,18 +247,67 @@ class Simulator:
         self._sequence = sequence + 1
         pool = self._pool
         if pool:
+            self._pool_hits += 1
             event = pool.pop()
-            event.time = time
-            event.sequence = sequence
-            event.callback = callback
-            event.args = args
-            event.cancelled = False
-            event.label = label
         else:
-            event = Event(time, sequence, callback, args, label)
-        heapq.heappush(self._queue, (time, sequence, event))
-        self._live += 1
+            # Bare allocation: __new__ skips the __init__ frame, the six
+            # stores below are shared with the pool-hit branch.
+            event = _new_event(Event)
+        event.time = time
+        event.sequence = sequence
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.label = label
+        if time == now and self._batch_drain:
+            self._fifo.append(event)
+            self._fast_lane += 1
+        else:
+            _heappush(self._queue, (time, sequence, event))
+        live = self._live + 1
+        self._live = live
+        if live > self._peak_live:
+            self._peak_live = live
+            if live > self._pool_cap:
+                self._pool_cap = (live if live < _POOL_CAP_MAX
+                                  else _POOL_CAP_MAX)
         return event
+
+    def post(self, time: float, callback: Callback,
+             args: Tuple[Any, ...] = ()) -> None:
+        """Fire-and-forget scheduling: no :class:`Event`, no handle.
+
+        The heap entry is a bare ``(time, sequence, None, callback,
+        args)`` tuple -- one tracked allocation per posting instead of
+        two, nothing to recycle, and no cancelled-check on the drain.
+        This is the message-delivery path: the network posts every
+        delivery (they are never cancelled), which makes this the most
+        frequently executed scheduling call in the repository.
+
+        Same-tick postings fall back to :meth:`schedule` so the FIFO
+        fast lane keeps carrying homogeneous :class:`Event` objects.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        now = self._now
+        if time <= now:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at t={time} (now is t={now})"
+                )
+            self.schedule(time, callback, args)
+            return
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        _heappush(self._queue, (time, sequence, None, callback, args))
+        live = self._live + 1
+        self._live = live
+        if live > self._peak_live:
+            self._peak_live = live
+            if live > self._pool_cap:
+                self._pool_cap = (live if live < _POOL_CAP_MAX
+                                  else _POOL_CAP_MAX)
 
     def call_at(self, time: float, callback: Callback,
                 label: str = "", args: Tuple[Any, ...] = ()) -> EventHandle:
@@ -237,9 +368,9 @@ class Simulator:
     def _cancel_event(self, event: Event, sequence: int) -> bool:
         """Cancel a scheduled event if ``sequence`` still matches.
 
-        Returns True if the event was live and is now cancelled.  The heap
-        entry is removed lazily; when dead entries pile up the heap is
-        compacted in one pass.
+        Returns True if the event was live and is now cancelled.  The
+        queue entry (heap or FIFO) is removed lazily; when dead entries
+        pile up both structures are compacted in one pass.
         """
         if event.sequence != sequence or event.cancelled:
             return False
@@ -249,7 +380,8 @@ class Simulator:
         self._live -= 1
         self._cancelled_queued += 1
         if (self._cancelled_queued > _COMPACT_MIN_CANCELLED
-                and self._cancelled_queued * 2 > len(self._queue)):
+                and self._cancelled_queued * 2
+                > len(self._queue) + len(self._fifo)):
             self._compact()
         return True
 
@@ -257,29 +389,45 @@ class Simulator:
         """Drop cancelled entries and re-heapify; pops stay in the same
         order because heap keys are unique ``(time, sequence)`` pairs.
 
-        Mutates the queue in place: ``run()`` holds a reference to the
-        list across callbacks, and callbacks may trigger compaction.
+        Mutates the queue (and the FIFO) in place: ``run()`` holds
+        references to both across callbacks, and callbacks may trigger
+        compaction.
         """
         pool = self._pool
+        pool_cap = self._pool_cap
         queue = self._queue
         keep = []
         for entry in queue:
             event = entry[2]
-            if event.cancelled:
-                if len(pool) < _POOL_CAP:
+            if event is not None and event.cancelled:
+                if len(pool) < pool_cap:
                     pool.append(event)
             else:
                 keep.append(entry)
+        self._compaction_dropped += len(queue) - len(keep)
         queue[:] = keep
         heapq.heapify(queue)
+        fifo = self._fifo
+        if fifo:
+            keep_fifo = []
+            for event in fifo:
+                if event.cancelled:
+                    if len(pool) < pool_cap:
+                        pool.append(event)
+                else:
+                    keep_fifo.append(event)
+            if len(keep_fifo) != len(fifo):
+                fifo.clear()
+                fifo.extend(keep_fifo)
         self._cancelled_queued = 0
+        self._compactions += 1
 
     def _retire(self, event: Event) -> None:
         """Tombstone a popped event and return it to the free pool."""
         event.sequence = -1
         event.callback = None
         event.args = ()
-        if len(self._pool) < _POOL_CAP:
+        if len(self._pool) < self._pool_cap:
             self._pool.append(event)
 
     # ------------------------------------------------------------------
@@ -292,12 +440,29 @@ class Simulator:
             True if an event was executed; False if the queue was empty.
         """
         queue = self._queue
-        while queue:
-            _, _, event = heapq.heappop(queue)
-            if event.cancelled:
-                self._cancelled_queued -= 1
-                self._retire(event)
-                continue
+        fifo = self._fifo
+        while True:
+            if fifo and (not queue or queue[0][0] > self._now):
+                event = fifo.popleft()
+                if event.cancelled:
+                    self._cancelled_queued -= 1
+                    self._retire(event)
+                    continue
+            elif queue:
+                entry = heapq.heappop(queue)
+                event = entry[2]
+                if event is None:
+                    self._now = entry[0]
+                    self._executed += 1
+                    self._live -= 1
+                    entry[3](*entry[4])
+                    return True
+                if event.cancelled:
+                    self._cancelled_queued -= 1
+                    self._retire(event)
+                    continue
+            else:
+                return False
             self._now = event.time
             self._executed += 1
             self._live -= 1
@@ -309,7 +474,6 @@ class Simulator:
             else:
                 callback()
             return True
-        return False
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> int:
@@ -328,28 +492,114 @@ class Simulator:
         self._running = True
         executed = 0
         queue = self._queue
+        fifo = self._fifo
+        pool = self._pool
         pop = heapq.heappop
         try:
-            while queue:
+            if until is None and max_events is None:
+                # Run-to-quiescence drain: no deadline to peek for, so
+                # every event is popped straight off -- one less index and
+                # branch per event on the hottest loop in the repo.
+                while True:
+                    if fifo and (not queue or queue[0][0] > self._now):
+                        event = fifo.popleft()
+                        if event.cancelled:
+                            self._cancelled_queued -= 1
+                            event.sequence = -1
+                            if len(pool) < self._pool_cap:
+                                pool.append(event)
+                            continue
+                        self._now = event.time
+                    else:
+                        if not queue:
+                            break
+                        entry = pop(queue)
+                        event = entry[2]
+                        if event is None:
+                            # Light posting: fire straight off the tuple.
+                            self._now = entry[0]
+                            self._executed += 1
+                            executed += 1
+                            self._live -= 1
+                            entry[3](*entry[4])
+                            continue
+                        if event.cancelled:
+                            self._cancelled_queued -= 1
+                            event.sequence = -1
+                            if len(pool) < self._pool_cap:
+                                pool.append(event)
+                            continue
+                        self._now = entry[0]
+                    self._executed += 1
+                    executed += 1
+                    self._live -= 1
+                    callback = event.callback
+                    args = event.args
+                    event.sequence = -1
+                    event.callback = None
+                    event.args = ()
+                    if len(pool) < self._pool_cap:
+                        pool.append(event)
+                    if args:
+                        callback(*args)
+                    else:
+                        callback()
+                return executed
+            while True:
                 if max_events is not None and executed >= max_events:
                     break
-                entry = queue[0]
-                event = entry[2]
-                if event.cancelled:
+                # Same-tick FIFO entries always carry larger sequence
+                # numbers than heap entries due at `now` (see module
+                # notes), so the heap drains first while its head is due.
+                if fifo and (not queue or queue[0][0] > self._now):
+                    event = fifo[0]
+                    if event.cancelled:
+                        fifo.popleft()
+                        self._cancelled_queued -= 1
+                        event.sequence = -1
+                        if len(pool) < self._pool_cap:
+                            pool.append(event)
+                        continue
+                    if until is not None and event.time > until:
+                        break
+                    fifo.popleft()
+                    self._now = event.time
+                else:
+                    if not queue:
+                        break
+                    entry = queue[0]
+                    event = entry[2]
+                    if event is None:
+                        if until is not None and entry[0] > until:
+                            break
+                        pop(queue)
+                        self._now = entry[0]
+                        self._executed += 1
+                        executed += 1
+                        self._live -= 1
+                        entry[3](*entry[4])
+                        continue
+                    if event.cancelled:
+                        pop(queue)
+                        self._cancelled_queued -= 1
+                        event.sequence = -1
+                        if len(pool) < self._pool_cap:
+                            pool.append(event)
+                        continue
+                    if until is not None and entry[0] > until:
+                        break
                     pop(queue)
-                    self._cancelled_queued -= 1
-                    self._retire(event)
-                    continue
-                if until is not None and entry[0] > until:
-                    break
-                pop(queue)
-                self._now = entry[0]
+                    self._now = entry[0]
                 self._executed += 1
                 executed += 1
                 self._live -= 1
                 callback = event.callback
                 args = event.args
-                self._retire(event)
+                event.sequence = -1
+                event.callback = None
+                event.args = ()
+                if len(pool) < self._pool_cap:
+                    pool.append(event)
                 if args:
                     callback(*args)
                 else:

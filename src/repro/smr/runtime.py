@@ -68,8 +68,14 @@ class NodeBase(Process):
         self.messages_received += 1
         policy = authenticator_for(type(body))
         if policy is not None and policy.verify_on_delivery:
+            network = self.network
+            network.stats.auth_verified += 1
+            # The transport publishes the digest it computed from this
+            # very body object; a forged injection bypassing the
+            # transport sees None and pays the full re-hash.
             if not policy.verify(self.keystore, self.cpu, src, self.name,
-                                 body, auth, size_bytes=size_bytes):
+                                 body, auth, size_bytes=size_bytes,
+                                 body_digest=network.delivery_digest):
                 self.auth_failures += 1
                 return
         self.on_message(src, body)

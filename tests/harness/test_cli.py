@@ -64,21 +64,105 @@ class TestCommands:
         code = main(["bench", "--events", "2000", "--messages", "1000",
                      "--broadcast-rounds", "200", "--clients", "2",
                      "--duration", "0.5", "--repeat", "1",
+                     "--heap-pending", "20000", "--heap-churn", "2000",
+                     "--same-tick", "50",
                      "--output", str(out_path)])
         assert code == 0
         out = capsys.readouterr().out
         assert "event_churn" in out
         payload = json.loads(out_path.read_text())
         benches = payload["benchmarks"]
-        assert set(benches) == {"event_churn", "message_storm",
+        assert set(benches) == {"event_churn", "heap_churn_1m",
+                                "same_tick_drain", "message_storm",
                                 "broadcast_storm", "authenticated_broadcast",
                                 "xpaxos_closed_loop", "pipelined_throughput",
                                 "cohort_driver"}
         # The optimized paths must be observationally identical to the seed.
+        assert benches["heap_churn_1m"]["results_match"]
+        assert benches["same_tick_drain"]["results_match"]
         assert benches["message_storm"]["results_match"]
         assert benches["broadcast_storm"]["results_match"]
         assert benches["authenticated_broadcast"]["results_match"]
         assert benches["xpaxos_closed_loop"]["deterministic"]
+
+    def test_bench_only_subset(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_perf.json"
+        code = main(["bench", "--events", "2000", "--messages", "1000",
+                     "--broadcast-rounds", "200", "--clients", "2",
+                     "--duration", "0.5", "--repeat", "1",
+                     "--only", "message_storm",
+                     "--output", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert list(payload["benchmarks"]) == ["message_storm"]
+        assert payload["params"]["only"] == ["message_storm"]
+
+    def test_bench_only_unknown_name(self, capsys, tmp_path):
+        code = main(["bench", "--only", "bogus",
+                     "--output", str(tmp_path / "b.json")])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bench_profile_marks_payload(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_perf.json"
+        pstats_path = tmp_path / "bench.pstats"
+        code = main(["bench", "--events", "500", "--messages", "200",
+                     "--broadcast-rounds", "50", "--clients", "2",
+                     "--duration", "0.2", "--repeat", "1",
+                     "--only", "event_churn",
+                     "--profile", str(pstats_path),
+                     "--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats table printed
+        assert "not" in out and "recorded" in out.replace("recordable",
+                                                          "recorded")
+        payload = json.loads(out_path.read_text())
+        assert payload["params"]["profiled"] is True
+        # The dump is a loadable pstats file.
+        import pstats as pstats_mod
+
+        stats = pstats_mod.Stats(str(pstats_path))
+        assert stats.total_calls > 0
+
+    def test_profile_command_single_cell(self, capsys, tmp_path):
+        pstats_path = tmp_path / "cell.pstats"
+        code = main(["profile", "fault-free", "--protocol", "paxos",
+                     "--limit", "5", "--pstats", str(pstats_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free x paxos: pass" in out
+        # Subsystem counters precede the wall-clock profile.
+        assert "[sim]" in out and "[network]" in out
+        assert "fast_lane" in out and "auth_stamped" in out
+        assert "cumulative" in out
+        assert pstats_path.exists()
+
+    def test_profile_unknown_scenario(self, capsys):
+        code = main(["profile", "no-such"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_profile_out_of_scope_protocol(self, capsys):
+        # A scenario scoped away from the protocol is a usage error, not
+        # a silent skipped cell.
+        from repro.scenarios.library import builtin_scenarios
+
+        scoped = next((s for s in builtin_scenarios()
+                       if s.protocols is not None), None)
+        if scoped is None:
+            pytest.skip("no protocol-scoped scenario in the library")
+        from repro.common.config import ProtocolName
+
+        outside = next(p for p in ProtocolName
+                       if not scoped.applies_to(p))
+        code = main(["profile", scoped.name, "--protocol", outside.value])
+        assert code == 2
+        assert "does not apply" in capsys.readouterr().err
 
     def test_compare_command_small(self, capsys):
         code = main(["compare", "--clients", "4", "--duration", "1"])

@@ -111,6 +111,56 @@ class TestGate:
         assert check_point(payload, history, tolerance=0.01) != []
 
 
+def partial_payload(**speedups):
+    payload = suite_payload(**speedups)
+    payload["params"]["only"] = sorted(speedups)
+    return payload
+
+
+class TestPartialPayloads:
+    def test_only_subset_skips_missing_benchmark_guard(self, tmp_path):
+        record_point(suite_payload(broadcast_storm=2.0, event_churn=3.0),
+                     history_dir=str(tmp_path))
+        history = load_history(str(tmp_path))
+        # A full payload missing event_churn is flagged...
+        assert check_point(suite_payload(broadcast_storm=2.0), history)
+        # ...but a declared subset is gated only on what it contains.
+        assert check_point(partial_payload(broadcast_storm=2.0),
+                           history) == []
+
+    def test_partial_payload_still_gates_present_benchmarks(self, tmp_path):
+        record_point(suite_payload(broadcast_storm=2.0),
+                     history_dir=str(tmp_path))
+        history = load_history(str(tmp_path))
+        problems = check_point(partial_payload(broadcast_storm=1.2),
+                               history)
+        assert any("broadcast_storm" in p for p in problems)
+
+    def test_record_refuses_only_payload(self, tmp_path):
+        with pytest.raises(ValueError, match="refusing to record"):
+            record_point(partial_payload(broadcast_storm=2.0),
+                         history_dir=str(tmp_path))
+
+    def test_record_refuses_profiled_payload(self, tmp_path):
+        payload = suite_payload(broadcast_storm=2.0)
+        payload["params"]["profiled"] = True
+        with pytest.raises(ValueError, match="refusing to record"):
+            record_point(payload, history_dir=str(tmp_path))
+
+    def test_format_check_notes_partiality(self):
+        text = format_check(partial_payload(broadcast_storm=2.0), [])
+        assert "not recordable" in text
+
+    def test_cli_record_refusal_is_usage_error(self, tmp_path, capsys):
+        payload_path = tmp_path / "BENCH_perf.json"
+        payload_path.write_text(
+            json.dumps(partial_payload(broadcast_storm=2.0)))
+        assert main(["trajectory", "record", str(payload_path),
+                     "--history-dir", str(tmp_path / "history")]) == 2
+        assert "refusing to record" in capsys.readouterr().err
+        assert not (tmp_path / "history").exists()
+
+
 class TestCli:
     def test_check_exit_codes(self, tmp_path, capsys):
         history = tmp_path / "history"

@@ -1,0 +1,185 @@
+"""Coalesced multicast delivery: one heap entry per fan-out arrival tick.
+
+The contract: ``Network(coalesce=True)`` (the default) is observationally
+identical to ``coalesce=False`` -- same deliveries in the same order at
+the same virtual times, same RNG draw order, same stats -- it only
+collapses the per-receiver delivery events that land on the same tick
+into one shared event whose callback fires the receivers in destination
+order (stamping per-receiver MACs inside the drain on the authenticated
+path).
+"""
+
+from repro.crypto.authenticators import MAC_VECTOR, NULL
+from repro.crypto.primitives import KeyStore
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.net.network import Endpoint, Network
+from repro.sim.core import Simulator
+
+
+def make_net(coalesce, fifo=False, bandwidth=False, jitter=0.0, seed=7):
+    sim = Simulator()
+    latency = LatencyModel.uniform(("X", "Y", "Z"), one_way_ms=5.0,
+                                   jitter=jitter, seed=seed)
+    if jitter:
+        latency.deterministic = False
+    bw = BandwidthModel(default_rate=1000.0) if bandwidth else None
+    return sim, Network(sim, latency, bandwidth=bw, fifo=fifo,
+                        coalesce=coalesce)
+
+
+class _Node:
+    def __init__(self, net, name, site):
+        self.inbox = []
+        self.auth_inbox = []
+        self.up = True
+        net.attach(Endpoint(
+            name, site,
+            lambda src, p: self.inbox.append((src, p, net.sim.now)),
+            lambda: self.up,
+            deliver_auth=lambda src, body, auth, size:
+                self.auth_inbox.append((src, body, size, net.sim.now))))
+
+
+def build(coalesce, **kwargs):
+    sim, net = make_net(coalesce, **kwargs)
+    nodes = {name: _Node(net, name, site)
+             for name, site in (("a", "X"), ("b", "Y"),
+                                ("c", "Y"), ("d", "Z"))}
+    return sim, net, nodes
+
+
+def core_stats(net):
+    s = net.stats
+    return (s.messages_sent, s.messages_delivered,
+            s.messages_dropped_partition, s.messages_dropped_crash,
+            s.bytes_sent, s.auth_stamped, s.auth_verified)
+
+
+class TestPlainMulticastEquivalence:
+    def _run(self, coalesce, **kwargs):
+        sim, net, nodes = build(coalesce, **kwargs)
+        log = []
+        for node in nodes.values():
+            node.inbox = log
+        for round_no in range(25):
+            net.multicast("a", ("b", "c", "d"), ("m", round_no),
+                          size_bytes=256)
+        sim.run()
+        return log, core_stats(net), sim.now
+
+    def test_deterministic_latency_same_schedule(self):
+        # Zero jitter: every receiver in a site shares the arrival tick,
+        # so coalescing actually engages and must change nothing.
+        on = self._run(coalesce=True)
+        off = self._run(coalesce=False)
+        assert on == off
+
+    def test_jittered_latency_same_schedule(self):
+        # Distinct arrival ticks per receiver: the coalesced path must
+        # degrade to per-receiver events without reordering anything.
+        on = self._run(coalesce=True, jitter=3.0)
+        off = self._run(coalesce=False, jitter=3.0)
+        assert on == off
+
+    def test_bandwidth_same_schedule(self):
+        on = self._run(coalesce=True, bandwidth=True, fifo=True)
+        off = self._run(coalesce=False, bandwidth=True, fifo=True)
+        assert on == off
+
+    def test_coalescing_counters_engage(self):
+        sim, net, nodes = build(coalesce=True)
+        net.multicast("a", ("b", "c"), "m", size_bytes=64)
+        sim.run()
+        # b and c share a site: one arrival tick, one shared event.
+        assert net.stats.coalesced_ticks == 1
+        assert net.stats.coalesced_deliveries == 2
+        sim2, net2, _ = build(coalesce=False)
+        net2.multicast("a", ("b", "c"), "m", size_bytes=64)
+        sim2.run()
+        assert net2.stats.coalesced_ticks == 0
+        assert net2.stats.coalesced_deliveries == 0
+
+
+class TestAuthenticatedMulticastEquivalence:
+    def _run(self, coalesce, authenticator, **kwargs):
+        sim, net, nodes = build(coalesce, **kwargs)
+        log = []
+        keystore = KeyStore()
+        for node in nodes.values():
+            node.auth_inbox = log
+        for round_no in range(25):
+            net.multicast_authenticated(
+                "a", ["b", "c", "d"], ("m", round_no), size_bytes=256,
+                authenticator=authenticator, keystore=keystore)
+        sim.run()
+        return log, core_stats(net), sim.now
+
+    def test_mac_vector_same_schedule_and_macs_valid(self):
+        on = self._run(coalesce=True, authenticator=MAC_VECTOR)
+        off = self._run(coalesce=False, authenticator=MAC_VECTOR)
+        assert on == off
+
+    def test_null_policy_same_schedule(self):
+        on = self._run(coalesce=True, authenticator=NULL)
+        off = self._run(coalesce=False, authenticator=NULL)
+        assert on == off
+
+    def test_macs_stamped_inside_drain_verify(self):
+        # Per-receiver MACs stamped by the shared event's callback must
+        # verify exactly as eagerly stamped ones do.
+        sim, net, nodes = build(coalesce=True)
+        keystore = KeyStore()
+        net.multicast_authenticated("a", ["b", "c", "d"], "body",
+                                    size_bytes=64,
+                                    authenticator=MAC_VECTOR,
+                                    keystore=keystore)
+        sim.run()
+        for name in ("b", "c", "d"):
+            (src, body, auth, size), = [
+                (s, b, None, sz)
+                for s, b, sz, _t in nodes[name].auth_inbox]
+            assert src == "a" and body == "body"
+        assert net.stats.auth_stamped == 3
+
+    def test_partition_at_send_time_respected_per_receiver(self):
+        def run(coalesce):
+            sim, net, nodes = build(coalesce)
+            net.partitions.block_pair("a", "c")
+            net.multicast_authenticated("a", ["b", "c"], "m", size_bytes=64,
+                                        authenticator=MAC_VECTOR,
+                                        keystore=KeyStore())
+            sim.run()
+            return (len(nodes["b"].auth_inbox), len(nodes["c"].auth_inbox),
+                    net.stats.messages_dropped_partition)
+
+        assert run(True) == run(False) == (1, 0, 1)
+
+    def test_partition_mid_flight_keeps_in_flight_messages(self):
+        # Partition checks are send-time by contract (see Network.send);
+        # a partition raised mid-flight must not drop already-sent
+        # messages on either scheduling path.
+        def run(coalesce):
+            sim, net, nodes = build(coalesce)
+            net.multicast_authenticated("a", ["b", "c"], "m", size_bytes=64,
+                                        authenticator=MAC_VECTOR,
+                                        keystore=KeyStore())
+            net.partitions.block_pair("a", "c")
+            sim.run()
+            return (len(nodes["b"].auth_inbox), len(nodes["c"].auth_inbox),
+                    net.stats.messages_dropped_partition)
+
+        assert run(True) == run(False) == (1, 1, 0)
+
+    def test_crash_mid_flight_respected_per_receiver(self):
+        def run(coalesce):
+            sim, net, nodes = build(coalesce)
+            net.multicast_authenticated("a", ["b", "c"], "m", size_bytes=64,
+                                        authenticator=MAC_VECTOR,
+                                        keystore=KeyStore())
+            nodes["c"].up = False
+            sim.run()
+            return (len(nodes["b"].auth_inbox), len(nodes["c"].auth_inbox),
+                    net.stats.messages_dropped_crash)
+
+        assert run(True) == run(False) == (1, 0, 1)

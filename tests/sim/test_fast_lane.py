@@ -1,0 +1,290 @@
+"""Batch-drain fast lane, ``post()`` light entries, and recycling edges.
+
+The fast lane buckets events scheduled at exactly ``now`` into a FIFO
+drained without per-event heap traffic; ``post()`` schedules a
+fire-and-forget callback with no Event object at all.  Both are pure
+representation changes: every test here pins the observable schedule
+(callback order, counts, handles) to the heap-only baseline.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.core import _POOL_CAP, Simulator
+
+
+def _same_tick_trace(batch_drain):
+    """A workload that leans on same-tick scheduling, with interleaved
+    future events and cancellations, traced as (time, label) pairs."""
+    sim = Simulator(batch_drain=batch_drain)
+    log = []
+
+    def note(label):
+        log.append((sim.now, label))
+
+    def burst(round_no):
+        note(f"burst{round_no}")
+        # Same-tick chain: three immediate continuations, one of which
+        # schedules yet another one.
+        sim.call_soon(note, args=(f"soon{round_no}a",))
+        sim.call_soon(lambda: sim.call_soon(note,
+                                            args=(f"nested{round_no}",)))
+        sim.call_soon(note, args=(f"soon{round_no}b",))
+        # A future event plus a cancelled sibling, to mix heap traffic in.
+        keep = sim.call_after(3.0, note, args=(f"later{round_no}",))
+        drop = sim.call_after(3.0, note, args=(f"dropped{round_no}",))
+        drop.cancel()
+        assert keep.active
+        if round_no < 5:
+            sim.call_after(10.0, burst, args=(round_no + 1,))
+
+    sim.call_at(1.0, burst, args=(0,))
+    sim.run()
+    return log, sim.stats()
+
+
+class TestFastLaneEquivalence:
+    def test_same_schedule_with_lane_on_and_off(self):
+        fast, fast_stats = _same_tick_trace(batch_drain=True)
+        slow, slow_stats = _same_tick_trace(batch_drain=False)
+        assert fast == slow
+        assert fast_stats["executed"] == slow_stats["executed"]
+        assert fast_stats["cancelled"] == slow_stats["cancelled"]
+        # The lane actually engaged: the same-tick continuations skipped
+        # the heap on the fast run and hit it on the baseline.
+        assert fast_stats["fast_lane"] > 0
+        assert slow_stats["fast_lane"] == 0
+        assert fast_stats["heap_pushes"] < slow_stats["heap_pushes"]
+
+    def test_heap_events_due_now_fire_before_fifo_entries(self):
+        # An event scheduled *earlier* for time T must precede a
+        # same-tick event created at T, even though the former sits in
+        # the heap and the latter in the FIFO.
+        sim = Simulator()
+        log = []
+        sim.call_at(5.0, lambda: log.append("heap-first"))
+
+        def at_five():
+            log.append("firing")
+            sim.call_soon(lambda: log.append("fifo-second"))
+
+        # Insertion order: this callback runs before "heap-first" is
+        # popped only if it was scheduled first -- schedule it second so
+        # the heap entry drains first, then the FIFO entry.
+        sim.call_at(5.0, lambda: None)  # placeholder to vary sequences
+        sim.call_at(5.0, at_five)
+        sim.run()
+        assert log == ["heap-first", "firing", "fifo-second"]
+
+    def test_cancel_same_tick_event_before_it_fires(self):
+        sim = Simulator()
+        log = []
+
+        def setup():
+            handle = sim.call_soon(lambda: log.append("cancelled"))
+            sim.call_soon(lambda: log.append("kept"))
+            handle.cancel()
+            assert not handle.active
+
+        sim.call_at(2.0, setup)
+        sim.run()
+        assert log == ["kept"]
+
+    def test_step_drains_fifo_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.call_at(1.0, lambda: [sim.call_soon(log.append, args=(i,))
+                                  for i in range(3)])
+        while sim.step():
+            pass
+        assert log == [0, 1, 2]
+
+
+class TestPost:
+    def test_post_fires_in_time_and_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.post(20.0, log.append, args=("b",))
+        sim.post(10.0, log.append, args=("a",))
+        sim.call_at(20.0, log.append, args=("c",))  # after first post(20)
+        sim.post(20.0, log.append, args=("d",))
+        sim.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_post_in_past_raises(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post(5.0, lambda: None)
+
+    def test_post_at_now_falls_back_to_fifo_lane(self):
+        # Same-tick posts become ordinary Events so the FIFO stays
+        # homogeneous; they still fire this tick, in order.
+        sim = Simulator()
+        log = []
+
+        def now_burst():
+            sim.post(sim.now, log.append, args=("x",))
+            sim.post(sim.now, log.append, args=("y",))
+
+        sim.call_at(3.0, now_burst)
+        sim.run()
+        assert log == ["x", "y"]
+
+    def test_post_counts_as_pending_and_executed(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.post(float(i + 1), lambda: None)
+        assert sim.pending == 4
+        sim.run()
+        assert sim.pending == 0
+        assert sim.executed == 4
+
+    def test_post_survives_compaction(self):
+        # Mass cancellation triggers compaction while light entries sit
+        # in the heap; they must be kept, not dropped or recycled.
+        sim = Simulator()
+        log = []
+        sim.post(500.0, log.append, args=("light",))
+        victims = [sim.call_at(100.0 + i, lambda: log.append("victim"))
+                   for i in range(300)]
+        for victim in victims:
+            victim.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert log == ["light"]
+
+    def test_post_interleaves_with_step(self):
+        sim = Simulator()
+        log = []
+        sim.post(1.0, log.append, args=(1,))
+        sim.call_at(2.0, log.append, args=(2,))
+        assert sim.step() and log == [1]
+        assert sim.step() and log == [1, 2]
+        assert not sim.step()
+
+    def test_run_until_stops_before_light_entry(self):
+        sim = Simulator()
+        log = []
+        sim.post(100.0, log.append, args=("late",))
+        sim.run(until=50.0)
+        assert log == [] and sim.now == 50.0
+        sim.run()
+        assert log == ["late"]
+
+
+class TestCompactionAliasing:
+    def test_compaction_fired_from_inside_callback_mid_run(self):
+        # The nasty aliasing case: the *currently firing* event's object
+        # was already popped when its callback cancels en masse and
+        # trips compaction -- which rebuilds the heap and recycles
+        # cancelled events into the pool.  The in-flight event must not
+        # be recycled out from under its own callback, and events
+        # scheduled *by* the callback after compaction must be distinct
+        # objects with working handles.
+        sim = Simulator()
+        log = []
+        victims = [sim.call_at(50.0 + i, lambda i=i: log.append(i))
+                   for i in range(300)]
+
+        def massacre():
+            for victim in victims:
+                victim.cancel()
+            # Compaction may have run synchronously inside cancel();
+            # scheduling from the same callback must still work and the
+            # new handles must control the new events only.
+            fresh = sim.call_after(1.0, log.append, args=("fresh",))
+            assert fresh.active
+            sim.call_soon(log.append, args=("soon",))
+
+        sim.call_at(10.0, massacre)
+        sim.run()
+        assert log == ["soon", "fresh"]
+        stats = sim.stats()
+        assert stats["compaction_dropped"] > 0
+        assert stats["pending"] == 0
+
+    def test_recancelling_inside_compacting_callback_is_safe(self):
+        sim = Simulator()
+        log = []
+        victims = [sim.call_at(50.0 + i, lambda: log.append("victim"))
+                   for i in range(300)]
+
+        def massacre():
+            for victim in victims:
+                victim.cancel()
+            # All handles are now stale; cancelling again (post
+            # compaction, post recycling) must be a no-op.
+            for victim in victims:
+                victim.cancel()
+            assert sim.pending == 0
+
+        sim.call_at(10.0, massacre)
+        sim.run()
+        assert log == []
+
+
+class TestHandleGenerations:
+    def test_stale_handle_across_many_recycling_generations(self):
+        # One Event object can serve many schedule() lifetimes.  A handle
+        # from generation k must be inert for every generation > k, and
+        # `active` must report False the moment its own generation ends.
+        sim = Simulator()
+        log = []
+        stale = []
+        for generation in range(50):
+            handle = sim.call_after(1.0, log.append, args=(generation,))
+            sim.run()
+            assert not handle.active
+            stale.append(handle)
+            # Stale cancels must never kill the *next* generation.
+            for old in stale:
+                old.cancel()
+        assert log == list(range(50))
+        assert sim.stats()["pool_hits"] > 0
+
+    def test_cancelled_generation_recycles_without_leaking_actives(self):
+        sim = Simulator()
+        log = []
+        for generation in range(30):
+            doomed = sim.call_after(5.0, log.append, args=("doomed",))
+            kept = sim.call_after(1.0, log.append, args=(generation,))
+            doomed.cancel()
+            sim.run()
+            assert not doomed.active and not kept.active
+        assert log == list(range(30))
+
+
+class TestAdaptivePoolCap:
+    def test_cap_starts_at_floor_and_tracks_peak_pending(self):
+        sim = Simulator()
+        assert sim.stats()["pool_cap"] == _POOL_CAP
+        target = _POOL_CAP * 2
+        for i in range(target):
+            sim.call_at(float(i + 1), lambda: None)
+        stats = sim.stats()
+        assert stats["peak_pending"] == target
+        assert stats["pool_cap"] == target
+        sim.run()
+        # The raised cap persists so the next burst of this size runs
+        # entirely from the pool.
+        assert sim.stats()["pool_cap"] == target
+        assert sim.stats()["pool_size"] <= target
+
+    def test_small_runs_keep_the_floor_cap(self):
+        sim = Simulator()
+        for i in range(100):
+            sim.call_at(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.stats()["pool_cap"] == _POOL_CAP
+
+    def test_pool_hit_rate_reported(self):
+        sim = Simulator()
+        for round_no in range(3):
+            for i in range(500):
+                sim.call_at(sim.now + float(i + 1), lambda: None)
+            sim.run()
+        stats = sim.stats()
+        assert stats["pool_hits"] > 0
+        assert 0.0 < stats["pool_hit_rate"] <= 1.0
