@@ -9,7 +9,12 @@
 # Stages
 # ------
 # lint       byte-compiles every Python tree (and runs pyflakes when the
-#            host has it) -- catches syntax/undefined-name rot cheaply.
+#            host has it) -- catches syntax/undefined-name rot cheaply --
+#            then runs `repro lint`, the AST determinism & safety linter
+#            (src/repro/analysis/; docs/static-analysis.md): bench
+#            registration (B001) plus the D/A/S rule families over
+#            src+tests+benchmarks, failing on any non-baselined finding
+#            and writing lint_report.json for the CI artifact.
 # tier1      the full unit + figure-regeneration suite (the repo's
 #            correctness gate; see ROADMAP.md).
 # perf       `repro bench` compares the current simulator/network hot
@@ -64,14 +69,17 @@ stage_lint() {
     fi
     # Every bench_* function must be registered in the gated suite --
     # an unregistered benchmark silently escapes the trajectory gate.
-    python - <<'EOF'
-from repro.harness.perf import unregistered_benchmarks
-
-stray = unregistered_benchmarks()
-assert not stray, (
-    f"bench_* functions not registered in suite_benchmarks(): {stray}")
-print("lint ok: every bench_* function is on the gated trajectory")
-EOF
+    # (Rule B001 of the repro linter; this used to be an inline check.)
+    echo "== lint: bench registration (repro lint --only B001) =="
+    python -m repro lint --only B001
+    # The full determinism & safety linter: module-level RNG draws,
+    # wall-clock reads, hash-ordered set iteration, unregistered wire
+    # messages, simulator hygiene (docs/static-analysis.md).  Fails on
+    # any finding that is neither suppressed inline nor in the committed
+    # baseline (benchmarks/lint_baseline.json), and on stale baseline
+    # entries.  The JSON report is uploaded as a CI artifact.
+    echo "== lint: determinism & safety linter (repro lint) =="
+    python -m repro lint src tests benchmarks --json lint_report.json
 }
 
 stage_tier1() {

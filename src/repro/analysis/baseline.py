@@ -1,0 +1,98 @@
+"""The committed lint baseline: grandfathered findings, tracked for rot.
+
+``benchmarks/lint_baseline.json`` holds findings that predate a rule (or
+are accepted for now) so a new rule can land strict without first fixing
+the world.  The contract is a ratchet:
+
+* a finding matching a baseline entry (same ``file``, ``rule``,
+  ``line``) is reported as *baselined* and does not fail the lint;
+* a baseline entry with no matching finding is **stale** -- the
+  violation was fixed (or moved) but the entry remains -- and *does*
+  fail the lint, so the file can only shrink truthfully.  Entries are
+  line-exact on purpose: a finding that drifts to a new line must be
+  re-examined, not silently re-absorbed.
+
+``repro lint --write-baseline`` regenerates the file from the current
+findings (sorted, stable) for the rare deliberate re-grandfathering.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Identity used for matching: mirrors ``Finding.key``.
+Key = Tuple[str, str, int]
+
+
+def load_baseline(path: str) -> List[Dict[str, Any]]:
+    """The baseline entries (``[]`` when the file does not exist).
+
+    Raises ``ValueError`` on a malformed file -- a truncated baseline
+    must fail the lint loudly, not silently un-grandfather everything.
+    """
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return []
+    except ValueError as exc:
+        raise ValueError(f"malformed baseline {path}: {exc}") from exc
+    if (not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), list)):
+        raise ValueError(
+            f"malformed baseline {path}: expected "
+            f'{{"version": {BASELINE_VERSION}, "findings": [...]}}')
+    for entry in payload["findings"]:
+        if not (isinstance(entry, dict) and isinstance(entry.get("file"), str)
+                and isinstance(entry.get("rule"), str)
+                and isinstance(entry.get("line"), int)):
+            raise ValueError(
+                f"malformed baseline {path}: entry {entry!r} needs "
+                f"string 'file'/'rule' and integer 'line'")
+    return payload["findings"]
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted for stable diffs)."""
+    entries = [
+        {"file": f.file, "rule": f.rule, "line": f.line,
+         "message": f.message}
+        for f in sorted(findings)
+    ]
+    with open(path, "w") as fh:
+        json.dump({"version": BASELINE_VERSION, "findings": entries}, fh,
+                  indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def split_baseline(
+    findings: List[Finding],
+    entries: List[Dict[str, Any]],
+    active_rules: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, Any]]]:
+    """Partition findings against the baseline.
+
+    Returns ``(new, baselined, stale)``: findings not in the baseline,
+    findings absorbed by it, and baseline entries nothing matched.  When
+    ``active_rules`` is given (an ``--only`` run), entries for other
+    rules are ignored rather than reported stale -- a narrowed run has
+    no opinion on rules it did not execute.
+    """
+    keys: Set[Key] = {f.key for f in findings}
+    considered = [
+        e for e in entries
+        if active_rules is None or e["rule"] in active_rules
+    ]
+    baseline_keys: Set[Key] = {
+        (e["file"], e["rule"], e["line"]) for e in considered}
+    new = [f for f in findings if f.key not in baseline_keys]
+    baselined = [f for f in findings if f.key in baseline_keys]
+    stale = [e for e in considered
+             if (e["file"], e["rule"], e["line"]) not in keys]
+    return new, baselined, stale

@@ -1,0 +1,57 @@
+"""B-series: bench/harness registration rules.
+
+The perf-trajectory gate only sees benchmarks that
+``suite_benchmarks()`` runs; a ``bench_*`` function that exists but is
+not wired into the suite silently escapes regression gating.  This was
+previously enforced by an inline shell one-liner in ``scripts/ci.sh``
+importing :func:`repro.harness.perf.unregistered_benchmarks`; the rule
+here is the same contract, checked statically at lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.base import ModuleInfo, Rule, rule
+
+
+@rule
+class UnregisteredBenchmarkRule(Rule):
+    """Every ``bench_*`` function must be run by ``suite_benchmarks()``.
+
+    In any module that defines a top-level ``suite_benchmarks`` function
+    (the suite registry -- ``repro/harness/perf.py`` in this tree),
+    every top-level ``bench_*`` function must be referenced inside that
+    registry's body.  An unreferenced benchmark never reaches ``repro
+    bench``, so its perf regressions never trip the trajectory gate --
+    the benchmark rots while appearing to exist.
+    """
+
+    id = "B001"
+    title = "bench_* function not registered in suite_benchmarks()"
+
+    def check_module(self, module: ModuleInfo) -> List:
+        self._module = module
+        self._findings = []
+        suite = None
+        benches = []
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                if node.name == "suite_benchmarks":
+                    suite = node
+                elif node.name.startswith("bench_"):
+                    benches.append(node)
+        if suite is None or not benches:
+            return []
+        referenced: Set[str] = {
+            n.id for n in ast.walk(suite) if isinstance(n, ast.Name)}
+        for bench in benches:
+            if bench.name not in referenced:
+                self.report(
+                    bench,
+                    f"{bench.name} is not referenced by "
+                    f"suite_benchmarks(), so it never runs under `repro "
+                    f"bench` and escapes the perf-trajectory gate")
+        found, self._findings = self._findings, []
+        return found

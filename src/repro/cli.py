@@ -12,6 +12,8 @@ Examples::
     python -m repro bench --output BENCH_perf.json
     python -m repro bench --only message_storm --profile
     python -m repro profile fault-free --protocol xpaxos
+    python -m repro lint --json lint_report.json
+    python -m repro lint --only B001
 
 ``bench`` runs the performance micro-benchmark suite (event churn, heap
 churn at 10^6 pending, same-tick drain, point-to-point message storm,
@@ -27,6 +29,13 @@ counters next to the wall-clock profile (see ``docs/profiling.md``).
 library (crash cadences, partitions, Byzantine adversaries, anarchy
 boundary crossings; see :mod:`repro.scenarios.library`) against the
 selected protocols, grading each cell's safety/liveness invariants.
+
+``lint`` runs the AST determinism & safety linter
+(:mod:`repro.analysis`): module-level RNG draws, wall-clock reads,
+hash-ordered set iteration, unregistered wire messages, simulator
+hygiene and unregistered benchmarks -- the same invariants the runtime
+enforces late, caught before a matrix run starts (see
+``docs/static-analysis.md``).
 
 ``scenarios`` and ``sweep`` accept ``--jobs N`` to farm their
 deterministic, independent cells/points to worker processes; merged
@@ -192,6 +201,50 @@ def cmd_profile(args: argparse.Namespace) -> int:
         dump_stats(profiler, args.pstats)
         print(f"wrote profile {args.pstats}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """AST determinism & safety linter (see ``docs/static-analysis.md``).
+
+    Exit 0 when the tree is clean (modulo inline suppressions and the
+    committed baseline); exit 1 on any new finding *or* stale baseline
+    entry; exit 2 on usage errors (unknown rule id, missing path,
+    malformed baseline).
+    """
+    from repro.analysis import (
+        all_rule_classes,
+        format_report,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rid, cls in sorted(all_rule_classes().items()):
+            print(f"{rid}  [{cls.severity.value}] {cls.title}")
+        return 0
+    only = [rid.strip()
+            for chunk in args.only for rid in chunk.split(",")
+            if rid.strip()]
+    paths = args.paths or ["src", "tests", "benchmarks"]
+    baseline = None if args.no_baseline else args.baseline
+    try:
+        report = run_lint(paths, only=only or None, baseline_path=baseline)
+    except (ValueError, FileNotFoundError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        # Grandfather the current findings: they (plus what the baseline
+        # already absorbs) become the new committed debt.
+        write_baseline(args.baseline, report.findings + report.baselined)
+        print(f"wrote {len(report.findings) + len(report.baselined)} "
+              f"entr(ies) to {args.baseline}")
+        return 0
+    print(format_report(report, verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 def cmd_trajectory(args: argparse.Namespace) -> int:
@@ -444,6 +497,33 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--pstats", default=None, metavar="PATH",
                          help="also dump the raw pstats file")
     profile.set_defaults(func=cmd_profile)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST determinism & safety linter (docs/static-analysis.md)")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint "
+                           "(default: src tests benchmarks)")
+    lint.add_argument("--only", action="append", default=[],
+                      metavar="RULE",
+                      help="run only these rule ids (repeatable or "
+                           "comma-separated, e.g. --only B001)")
+    lint.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the full report as JSON")
+    lint.add_argument("--baseline",
+                      default="benchmarks/lint_baseline.json",
+                      help="committed baseline of grandfathered findings "
+                           "(default %(default)s)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline: report every finding")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="regenerate the baseline from the current "
+                           "findings instead of failing on them")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also print suppressed and baselined findings")
+    lint.set_defaults(func=cmd_lint)
 
     trajectory = sub.add_parser(
         "trajectory",

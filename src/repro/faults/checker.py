@@ -62,7 +62,7 @@ def check_total_order(traces: Dict[int, Sequence[tuple]]) -> List[SafetyViolatio
     for i, ra in enumerate(replicas):
         for rb in replicas[i + 1:]:
             slots_a, slots_b = per_replica_slots[ra], per_replica_slots[rb]
-            for seqno in set(slots_a) & set(slots_b):
+            for seqno in sorted(set(slots_a) & set(slots_b)):
                 if slots_a[seqno] != slots_b[seqno]:
                     violations.append(SafetyViolation(
                         seqno=seqno, replica_a=ra, replica_b=rb,

@@ -24,7 +24,7 @@ from repro.common.rng import stream
 _Z_9999 = 3.719
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkStats:
     """Round-trip statistics of one datacenter pair (Table 3 row format)."""
 

@@ -45,7 +45,8 @@ EXPLODING = Scenario(name="exploding",
 
 
 def _global_draw_schedule(config):
-    random.random()
+    # A deliberate global draw: the guard must error this cell.
+    random.random()  # repro: lint-ok[D001]
     from repro.faults.injector import FaultSchedule
     return FaultSchedule()
 
@@ -112,7 +113,7 @@ class TestParallelMap:
     def test_guard_rejects_global_rng_draws_inline(self):
         @guard_global_rng
         def dirty(task):
-            return random.random()
+            return random.random()  # repro: lint-ok[D001]
 
         with pytest.raises(GlobalRngDrawError):
             dirty(None)
@@ -120,7 +121,7 @@ class TestParallelMap:
     def test_guard_failure_is_recorded_in_worker(self):
         @guard_global_rng
         def dirty(task):
-            return random.random()
+            return random.random()  # repro: lint-ok[D001]
 
         outcomes = parallel_map(dirty, [0, 1], jobs=2)
         assert not outcomes[0].ok and not outcomes[1].ok
@@ -131,10 +132,10 @@ class TestMatrixJobs:
     def test_jobs4_matrix_json_byte_identical(self):
         # Perturb the inherited global RNG state differently before each
         # run: a cell path that (illegally) consulted it would diverge.
-        random.seed(b"sequential-side")
+        random.seed(b"sequential-side")  # repro: lint-ok[D001]
         seq = MatrixRunner(seed=3).run_matrix(
             scenarios=[QUICK], protocols=PROTOCOLS, jobs=1)
-        random.seed(b"parallel-side")
+        random.seed(b"parallel-side")  # repro: lint-ok[D001]
         par = MatrixRunner(seed=3).run_matrix(
             scenarios=[QUICK], protocols=PROTOCOLS, jobs=4)
         assert seq.to_json() == par.to_json()
