@@ -16,6 +16,7 @@ import pytest
 from repro.harness.perf import (
     bench_authenticated_broadcast,
     bench_broadcast_storm,
+    bench_digest_cache,
     bench_event_churn,
     bench_heap_churn_1m,
     bench_message_storm,
@@ -55,6 +56,17 @@ def test_broadcast_storm_speedup(benchmark):
     assert result["results_match"]
     # Typical ratio ~2x; loose floor to stay robust on loaded CI hosts.
     assert result["speedup"] > 1.05
+
+
+def test_digest_cache_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_digest_cache(count=600, repeat=2),
+        rounds=1, iterations=1)
+    # Byte-identical digest streams: the cache may only change when
+    # hashing happens, never what is hashed.
+    assert result["results_match"]
+    # Typical ratio ~8x (1 compute + 8 hits vs 9 computes); loose floor.
+    assert result["speedup"] > 2.0
 
 
 def test_authenticated_broadcast_speedup(benchmark):
@@ -110,11 +122,15 @@ def test_suite_payload_shape():
     assert set(payload["benchmarks"]) == {
         "event_churn", "heap_churn_1m", "same_tick_drain",
         "message_storm", "broadcast_storm",
-        "authenticated_broadcast", "xpaxos_closed_loop",
+        "authenticated_broadcast", "digest_cache", "xpaxos_closed_loop",
         "pipelined_throughput", "cohort_driver"}
     assert payload["params"]["only"] is None
     for key in ("heap_backlog", "heap_churn", "same_tick_ticks"):
         assert key in payload["params"]
+    # Host facts for gate-trip triage ride every payload (docs/ci.md).
+    assert "nproc" in payload["host"]
+    assert "loadavg" in payload["host"]
+    assert "cpu_model" in payload["host"]
     text = format_suite(payload)
     assert "event_churn" in text and "speedup" in text
 

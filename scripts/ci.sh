@@ -30,10 +30,17 @@
 #            --jobs $(nproc); the merged JSON is byte-identical to a
 #            sequential run), diffed against the committed
 #            SCENARIO_smoke.json golden.
+# matrix     the FULL (protocol x scenario) conformance matrix -- every
+#            known scenario against every protocol, --jobs $(nproc) --
+#            diffed against the committed SCENARIO_matrix.json golden.
+#            Too slow for every push; run nightly
+#            (.github/workflows/nightly.yml) and on demand.
 #
-# The GitHub Actions workflow (.github/workflows/ci.yml) runs the stages
-# as separate jobs and uploads BENCH_perf.json and SCENARIO_smoke.json as
-# artifacts.
+# The GitHub Actions workflows (.github/workflows/ci.yml, nightly.yml)
+# run the stages as separate jobs and upload BENCH_perf.json,
+# SCENARIO_smoke.json and SCENARIO_matrix.json as artifacts.  When
+# GITHUB_STEP_SUMMARY is set, a per-stage wall-clock table is appended to
+# it after the last stage.
 #
 # Perf/scenario serialization: the perf stage gates *same-host speedup
 # ratios*, so it must never share the host with a --jobs matrix run --
@@ -125,6 +132,9 @@ assert benches["same_tick_drain"]["results_match"]
 assert benches["message_storm"]["results_match"]
 assert benches["broadcast_storm"]["results_match"]
 assert benches["authenticated_broadcast"]["results_match"]
+# The digest cache must be invisible byte-for-byte: cached and seed
+# encoders produce identical digest streams.
+assert benches["digest_cache"]["results_match"]
 assert benches["xpaxos_closed_loop"]["deterministic"]
 # Leader pipelining must beat a depth-1 pipeline under saturating
 # open-loop load, and the open-loop driver must agree with the closed
@@ -209,16 +219,81 @@ EOF
     fi
 )
 
+stage_matrix() (
+    acquire_host_lock
+    echo "== matrix: full (protocol x scenario) conformance matrix =="
+    # Every known scenario against every protocol (out-of-scope cells
+    # report as skipped).  The cells fan out over one worker per core;
+    # the merged JSON is byte-identical to --jobs 1, so the golden diff
+    # below is exact.
+    python -m repro scenarios --protocol all \
+        --jobs "${REPRO_SMOKE_JOBS:-$(nproc)}" \
+        --json SCENARIO_matrix.json
+
+    python - <<'EOF'
+import json
+
+with open("SCENARIO_matrix.json") as fh:
+    payload = json.load(fh)
+cells = payload["cells"]
+bad = [c for c in cells
+       if c["status"] not in ("pass", "expected-violation", "skipped")]
+assert not bad, bad
+in_scope = [c for c in cells if c["status"] != "skipped"]
+assert len(in_scope) >= 60, f"only {len(in_scope)} in-scope cells"
+# The anarchy cells are the paper's central caveat: they must stay
+# expected-violation (consistency CAN break past the anarchy boundary),
+# never silently flip to pass.
+anarchy = [c for c in cells if c["scenario"].startswith("anarchy-")
+           and c["status"] != "skipped"]
+assert anarchy and all(c["status"] == "expected-violation"
+                       for c in anarchy), anarchy
+print(f"full matrix ok: {len(in_scope)} in-scope cells")
+EOF
+
+    # Committed golden: any drift in any cell of the full matrix fails
+    # the nightly loudly (refresh deliberately when behaviour changes on
+    # purpose).
+    if ! git diff --exit-code -- SCENARIO_matrix.json; then
+        echo "SCENARIO_matrix.json drifted from the committed golden" >&2
+        exit 1
+    fi
+)
+
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
     STAGES=(lint tier1 perf scenarios)
 fi
+STAGE_TIMES=()
 for stage in "${STAGES[@]}"; do
+    stage_start=$SECONDS
     case "$stage" in
-        lint|tier1|perf|scenarios) "stage_$stage" ;;
+        lint|tier1|perf|scenarios|matrix) "stage_$stage" ;;
         *)
-            echo "unknown stage '$stage' (known: lint tier1 perf scenarios)" >&2
+            echo "unknown stage '$stage' (known: lint tier1 perf" \
+                 "scenarios matrix)" >&2
             exit 2
             ;;
     esac
+    STAGE_TIMES+=("$stage $((SECONDS - stage_start))")
 done
+
+# Per-stage wall clock, into the Actions job summary when available (and
+# onto stdout always, so local runs see it too).
+print_stage_times() {
+    echo "| stage | wall clock |"
+    echo "| --- | --- |"
+    local entry
+    for entry in "${STAGE_TIMES[@]}"; do
+        echo "| ${entry%% *} | ${entry#* }s |"
+    done
+}
+echo "== stage wall-clock =="
+print_stage_times
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "### ci.sh stage wall-clock"
+        echo
+        print_stage_times
+    } >> "$GITHUB_STEP_SUMMARY"
+fi

@@ -222,3 +222,58 @@ class UnregisteredWireMessageRule(Rule):
                 f"authenticator policy via register(); the runtime will "
                 f"refuse it at send time"))
         return findings
+
+
+@rule
+class FrozenMessageMutationRule(Rule):
+    """``object.__setattr__`` outside ``__post_init__`` breaks the
+    digest-cache immutability contract.
+
+    ``digest_of`` memoizes digests on frozen wire-message instances and
+    never invalidates them: a message mutated after its first digest
+    would keep authenticating under the stale digest, silently
+    defeating content tampering detection.  Frozen dataclasses may
+    initialise derived fields in ``__post_init__`` (the instance has
+    not escaped yet), and ``crypto/primitives.py`` owns the sanctioned
+    memoization hook (:func:`cache_on_instance`); every other
+    ``object.__setattr__`` is a frozen-instance mutation and is
+    flagged.
+    """
+
+    id = "A002"
+    title = "object.__setattr__ outside __post_init__ mutates a frozen message"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._func_stack: List[str] = []
+
+    def check_module(self, module: ModuleInfo):
+        # The digest-cache implementation itself is the one sanctioned
+        # mutation site.
+        if module.parts[-2:] == ("crypto", "primitives.py"):
+            return []
+        self._func_stack = []
+        return super().check_module(module)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+                and "__post_init__" not in self._func_stack):
+            self.report(
+                node,
+                "object.__setattr__ outside __post_init__ mutates a "
+                "frozen instance; messages are immutable once digested "
+                "(the digest cache is never invalidated) -- initialise "
+                "derived fields in __post_init__, or memoize derived "
+                "values via crypto.primitives.cache_on_instance")
+        self.generic_visit(node)

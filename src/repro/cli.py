@@ -257,7 +257,9 @@ def cmd_trajectory(args: argparse.Namespace) -> int:
     import json
 
     from repro.harness.trajectory import (
+        best_point_for,
         check_point,
+        describe_host,
         format_check,
         load_history,
         record_point,
@@ -287,6 +289,17 @@ def cmd_trajectory(args: argparse.Namespace) -> int:
     for problem in problems:
         print(f"PERF REGRESSION: {problem}", file=sys.stderr)
     if problems:
+        # Host facts, current run vs the best point per tripped
+        # benchmark: different machine / fewer cores / nonzero loadavg
+        # is contention, not a regression.
+        print(f"host (this run): {describe_host(payload.get('host', {}))}",
+              file=sys.stderr)
+        for name in sorted({p.split(":", 1)[0] for p in problems}):
+            best = best_point_for(history, name)
+            if best is not None:
+                print(f"host (best {name}, {best.get('_file', '?')}): "
+                      f"{describe_host(best.get('host', {}))}",
+                      file=sys.stderr)
         print("note: the gate compares same-host speedup ratios -- if "
               "anything else was loading this host (e.g. a parallel "
               "`repro scenarios --jobs N` run), this can be a "

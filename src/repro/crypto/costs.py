@@ -76,6 +76,11 @@ class CpuMeter:
 
     def charge(self, category: str, cost_us: float) -> None:
         """Record ``cost_us`` of CPU work under ``category``."""
+        if not cost_us:
+            # Zero-cost models (tests, latency-only studies) charge on
+            # every MAC/digest; skip the bookkeeping, which is a no-op.
+            # Negative costs are truthy and still reach the raise below.
+            return
         if cost_us < 0:
             raise ValueError(f"negative CPU cost {cost_us}")
         self._busy_us += cost_us
@@ -92,8 +97,21 @@ class CpuMeter:
         self.charge("verify", self.cost_model.verify_cost())
 
     def charge_mac(self, size_bytes: int = 0) -> None:
-        """Charge one MAC computation/verification."""
-        self.charge("mac", self.cost_model.mac_cost(size_bytes))
+        """Charge one MAC computation/verification.
+
+        Flattened (no ``mac_cost``/``charge`` delegation): this is the
+        per-delivery charge on the authenticated hot path.
+        """
+        cm = self.cost_model
+        cost_us = cm.mac_us + cm.mac_per_kb_us * (size_bytes / 1024.0)
+        if not cost_us:
+            return
+        if cost_us < 0:
+            raise ValueError(f"negative CPU cost {cost_us}")
+        self._busy_us += cost_us
+        self._by_category["mac"] = (
+            self._by_category.get("mac", 0.0) + cost_us
+        )
 
     def charge_macs(self, count: int, size_bytes: int = 0) -> None:
         """Charge ``count`` identical MAC computations in one call (the

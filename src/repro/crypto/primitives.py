@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, fields, is_dataclass
+from operator import itemgetter
 from typing import Any, Dict, Tuple
 
 from repro.common.errors import SignatureError
@@ -42,7 +43,31 @@ def _canonical(obj: Any) -> bytes:
 
     Handles the payload types that appear inside protocol messages: scalars,
     bytes, tuples/lists, dicts, dataclasses, signatures and digests.
+
+    The exact-type tests up front are the hot path: wire payloads are
+    overwhelmingly tuples of ints/strs/bytes, and dispatching on
+    ``obj.__class__`` skips the generic isinstance chain.  Subclasses
+    (enums, user types) still route through :func:`_canonical_general`
+    and encode byte-identically to the pre-fast-path encoder.
     """
+    cls = obj.__class__
+    if cls is tuple or cls is list:
+        parts = b"".join(map(_canonical, obj))
+        return b"l%d:%b" % (len(obj), parts)
+    if cls is int:
+        return b"i%d" % obj
+    if cls is str:
+        data = obj.encode()
+        return b"s%d:%b" % (len(data), data)
+    if cls is bytes:
+        return b"b%d:%b" % (len(obj), obj)
+    if cls is float:
+        return b"f" + repr(obj).encode()
+    return _canonical_general(obj)
+
+
+def _canonical_general(obj: Any) -> bytes:
+    """Structural encoding for everything off the exact-type fast path."""
     if obj is None:
         return b"N"
     if isinstance(obj, bool):
@@ -91,37 +116,150 @@ class Digest:
     def __repr__(self) -> str:
         return f"Digest({self.value.hex()[:12]})"
 
+    # Hand-written equality/hash: digests are compared on every MAC and
+    # signature verification, and the generated dataclass __eq__ builds a
+    # field tuple per side per compare.  Value semantics are unchanged.
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is Digest:
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+_sha256 = hashlib.sha256
+
+#: Attribute used to memoize ``digest_of`` on frozen message instances.
+_DIGEST_CACHE_ATTR = "_cached_digest"
+
+#: Per-class cacheability memo: a class maps to True when its instances
+#: are frozen dataclasses (immutable by contract, enforced by lint rule
+#: A002) that accept the cache attribute.
+_CACHEABLE: Dict[type, bool] = {}
+
+_cache_hits = 0
+_cache_stores = 0
+_cache_uncached = 0
+
 
 def digest_of(obj: Any) -> Digest:
-    """Compute ``D(obj)`` over the canonical encoding."""
-    return Digest(hashlib.sha256(_canonical(obj)).digest())
+    """Compute ``D(obj)`` over the canonical encoding.
+
+    Memoized per message: frozen wire-message dataclasses carry their
+    digest in a ``_cached_digest`` instance attribute after the first
+    call, so re-digesting a message (leader stamps it per receiver, every
+    receiver verifies it, quorum certificates re-reference it) costs one
+    attribute probe instead of a canonical encode + SHA-256.  The cache
+    is never invalidated -- messages are immutable by contract (enforced
+    by lint rule A002 and the mutation-after-digest guard test).  Plain
+    tuples/lists/dicts are never cached.
+    """
+    global _cache_hits, _cache_stores, _cache_uncached
+    cached = getattr(obj, _DIGEST_CACHE_ATTR, None)
+    if cached is not None:
+        _cache_hits += 1
+        return cached
+    digest = Digest(_sha256(_canonical(obj)).digest())
+    cls = obj.__class__
+    cacheable = _CACHEABLE.get(cls)
+    if cacheable is None:
+        params = getattr(cls, "__dataclass_params__", None)
+        cacheable = _CACHEABLE[cls] = bool(params is not None
+                                           and params.frozen)
+    if cacheable:
+        try:
+            object.__setattr__(obj, _DIGEST_CACHE_ATTR, digest)
+            _cache_stores += 1
+        except (AttributeError, TypeError):
+            # Slotted or otherwise closed class: remember and stop trying.
+            _CACHEABLE[cls] = False
+            _cache_uncached += 1
+    else:
+        _cache_uncached += 1
+    return digest
 
 
-@dataclass(frozen=True)
-class Signature:
+def cache_on_instance(obj: Any, attr: str, value: Any) -> None:
+    """Memoize a derived value on a frozen instance.
+
+    The sanctioned mutation point for frozen dataclasses: lint rule A002
+    flags any other ``object.__setattr__`` on message instances.  Only
+    derived values (digests of immutable fields) may be cached -- the
+    attribute must never feed back into equality, hashing, or the wire
+    encoding.
+    """
+    object.__setattr__(obj, attr, value)
+
+
+def digest_cache_stats() -> Dict[str, int]:
+    """Digest-cache counters for ``repro profile`` (docs/profiling.md)."""
+    return {
+        "hits": _cache_hits,
+        "stores": _cache_stores,
+        "uncached": _cache_uncached,
+    }
+
+
+def reset_digest_cache_stats() -> None:
+    """Zero the digest-cache counters (profiling harness hook)."""
+    global _cache_hits, _cache_stores, _cache_uncached
+    _cache_hits = 0
+    _cache_stores = 0
+    _cache_uncached = 0
+
+
+class Signature(tuple):
     """A digital signature ``<D(m)>_{sigma_p}`` by principal ``signer``.
 
     The private field ``_token`` is derived inside :class:`KeyStore` from the
     signer's secret; holding a Signature object with a valid token is proof
     the signer produced it.
+
+    Implemented as a lean ``tuple`` subclass rather than a frozen
+    dataclass: one is minted per sign/stamp on the fan-out hot path, and
+    tuple construction and comparison run at C speed while keeping the
+    same value semantics and immutability (``__slots__ = ()``).
     """
 
-    signer: Principal
-    digest: Digest
-    _token: bytes
+    __slots__ = ()
+
+    def __new__(cls, signer: Principal, digest: Digest,
+                _token: bytes) -> "Signature":
+        return tuple.__new__(cls, (signer, digest, _token))
+
+    signer = property(itemgetter(0))
+    digest = property(itemgetter(1))
+    _token = property(itemgetter(2))
+
+    def __getnewargs__(self) -> Tuple[Any, ...]:
+        return tuple(self)
 
     def __repr__(self) -> str:
         return f"Sig({self.signer},{self.digest.hex()[:8]})"
 
 
-@dataclass(frozen=True)
-class Mac:
-    """A message authentication code on the channel ``sender -> receiver``."""
+class Mac(tuple):
+    """A message authentication code on the channel ``sender -> receiver``.
 
-    sender: Principal
-    receiver: Principal
-    digest: Digest
-    _token: bytes
+    Same lean tuple-subclass layout as :class:`Signature`: the transport
+    mints one Mac per receiver per fan-out, so constructor cost is paid
+    n times per multicast.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, sender: Principal, receiver: Principal,
+                digest: Digest, _token: bytes) -> "Mac":
+        return tuple.__new__(cls, (sender, receiver, digest, _token))
+
+    sender = property(itemgetter(0))
+    receiver = property(itemgetter(1))
+    digest = property(itemgetter(2))
+    _token = property(itemgetter(3))
+
+    def __getnewargs__(self) -> Tuple[Any, ...]:
+        return tuple(self)
 
     def __repr__(self) -> str:
         return f"Mac({self.sender}->{self.receiver},{self.digest.hex()[:8]})"
@@ -139,25 +277,28 @@ class KeyStore:
 
     def __init__(self, secret: bytes = b"xft-repro") -> None:
         self._secret = secret
+        # Domain-separated token prefixes, concatenated once per keystore
+        # instead of once per token derivation.
+        self._sig_prefix = b"sig" + secret
+        self._mac_prefix = b"mac" + secret
 
     # -- internal token derivations ------------------------------------
+    # Single-shot hashing: SHA-256 over one concatenated buffer is
+    # byte-identical to the equivalent sequence of h.update() calls, and
+    # skips four C-call round trips per token on the fan-out hot path.
+    # The mac/verify fast paths below inline these derivations to skip
+    # the extra frame per stamp/check; keep both in sync.
     def _sig_token(self, signer: Principal, digest: Digest) -> bytes:
-        h = hashlib.sha256()
-        h.update(b"sig")
-        h.update(self._secret)
-        h.update(signer.encode())
-        h.update(digest.value)
-        return h.digest()
+        return _sha256(
+            self._sig_prefix + signer.encode() + digest.value
+        ).digest()
 
     def _mac_token(self, sender: Principal, receiver: Principal,
                    digest: Digest) -> bytes:
-        h = hashlib.sha256()
-        h.update(b"mac")
-        h.update(self._secret)
-        h.update(sender.encode())
-        h.update(receiver.encode())
-        h.update(digest.value)
-        return h.digest()
+        return _sha256(
+            self._mac_prefix + sender.encode() + receiver.encode()
+            + digest.value
+        ).digest()
 
     # -- public API -----------------------------------------------------
     def sign(self, signer: Principal, payload: Any) -> Signature:
@@ -176,9 +317,12 @@ class KeyStore:
 
     def verify_digest(self, signature: Signature, digest: Digest) -> bool:
         """Check ``signature`` against a digest."""
+        signer, sig_digest, token = signature
         return (
-            signature.digest == digest
-            and signature._token == self._sig_token(signature.signer, digest)
+            sig_digest.value == digest.value
+            and token == _sha256(
+                self._sig_prefix + signer.encode() + digest.value
+            ).digest()
         )
 
     def check(self, signature: Signature, payload: Any,
@@ -206,16 +350,22 @@ class KeyStore:
         payload once and derives n channel tokens from the digest, instead
         of hashing the payload n times.
         """
-        return Mac(sender, receiver, digest,
-                   self._mac_token(sender, receiver, digest))
+        token = _sha256(
+            self._mac_prefix + sender.encode() + receiver.encode()
+            + digest.value
+        ).digest()
+        return Mac(sender, receiver, digest, token)
 
     def verify_mac(self, mac: Mac, payload: Any) -> bool:
         """Check a MAC against a payload."""
         digest = digest_of(payload)
+        sender, receiver, mac_digest, token = mac
         return (
-            mac.digest == digest
-            and mac._token == self._mac_token(mac.sender, mac.receiver,
-                                              digest)
+            mac_digest.value == digest.value
+            and token == _sha256(
+                self._mac_prefix + sender.encode() + receiver.encode()
+                + digest.value
+            ).digest()
         )
 
     def verify_mac_digest(self, mac: Mac, digest: Digest) -> bool:
@@ -225,10 +375,13 @@ class KeyStore:
         body once and hands the digest to each receiver, which then only
         derives the channel token instead of re-hashing the payload.
         """
+        sender, receiver, mac_digest, token = mac
         return (
-            mac.digest == digest
-            and mac._token == self._mac_token(mac.sender, mac.receiver,
-                                              digest)
+            mac_digest.value == digest.value
+            and token == _sha256(
+                self._mac_prefix + sender.encode() + receiver.encode()
+                + digest.value
+            ).digest()
         )
 
     def forge_attempt(self, forger: Principal, victim: Principal,

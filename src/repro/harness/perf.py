@@ -23,19 +23,22 @@ that the optimized paths are observationally identical to the seed.
 from __future__ import annotations
 
 import gc
+import hashlib
 # The heap-churn benchmarks measure the raw event heap against the seed
 # implementation by design.  # repro: lint-ok[S002]
 import heapq
 import json
+import os
 import platform
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.config import ProtocolName, WorkloadConfig
 from repro.crypto.authenticators import MAC_VECTOR
 from repro.crypto.costs import CostModel, CpuMeter
-from repro.crypto.primitives import KeyStore
+from repro.crypto.primitives import Digest, KeyStore, Mac, Signature, digest_of
+from repro.smr.messages import Batch, Request
 from repro.harness.configs import paper_config
 from repro.harness.runner import ExperimentRunner
 from repro.net.bandwidth import BandwidthModel
@@ -562,6 +565,91 @@ def bench_authenticated_broadcast(rounds: int = 4_000, seed: int = 0,
     return _compare(current, baseline, rounds * 8, repeat)
 
 
+# ----------------------------------------------------------------------
+# Digest-cache micro-benchmark (seed encoder preserved verbatim)
+# ----------------------------------------------------------------------
+
+def _seed_canonical(obj: Any) -> bytes:
+    """The seed's canonical encoder, preserved verbatim as the baseline
+    for :func:`bench_digest_cache`: one generic isinstance chain, no
+    exact-type fast path, byte-identical output to the current encoder."""
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"T" if obj else b"F"
+    if isinstance(obj, int):
+        return b"i" + str(obj).encode()
+    if isinstance(obj, float):
+        return b"f" + repr(obj).encode()
+    if isinstance(obj, str):
+        data = obj.encode()
+        return b"s" + str(len(data)).encode() + b":" + data
+    if isinstance(obj, bytes):
+        return b"b" + str(len(obj)).encode() + b":" + obj
+    if isinstance(obj, Digest):
+        return b"D" + obj.value
+    if isinstance(obj, Signature):
+        return b"S" + _seed_canonical((obj.signer, obj.digest.value))
+    if isinstance(obj, Mac):
+        return b"M" + _seed_canonical((obj.sender, obj.receiver,
+                                       obj.digest.value))
+    if isinstance(obj, (tuple, list)):
+        parts = b"".join(_seed_canonical(x) for x in obj)
+        return b"l" + str(len(obj)).encode() + b":" + parts
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: _seed_canonical(kv[0]))
+        parts = b"".join(_seed_canonical(k) + _seed_canonical(v)
+                         for k, v in items)
+        return b"d" + str(len(obj)).encode() + b":" + parts
+    if is_dataclass(obj) and not isinstance(obj, type):
+        parts = [type(obj).__name__.encode()]
+        for f in fields(obj):
+            parts.append(_seed_canonical(f.name))
+            parts.append(_seed_canonical(getattr(obj, f.name)))
+        return b"c" + b"".join(parts)
+    raise TypeError(f"cannot canonically encode {type(obj).__name__}")
+
+
+def _seed_digest_of(obj: Any) -> Digest:
+    """The seed's ``digest_of``: always re-encode, never memoize."""
+    return Digest(hashlib.sha256(_seed_canonical(obj)).digest())
+
+
+def _digest_cache_workload(digest_fn: Callable[[Any], Digest],
+                           count: int, fanout: int) -> Dict[str, Any]:
+    """Digest ``count`` fresh wire batches ``fanout`` times each.
+
+    The re-digest pattern of every ordering protocol: the leader hashes
+    a batch once to stamp it, then each of ``fanout - 1`` receivers
+    hashes the same (shared, in-process) object to verify.  Batches are
+    built inside the timed region so the cached side starts cold; the
+    rolling checksum over every returned digest is the equivalence
+    check between the cached and seed implementations.
+    """
+    checksum = hashlib.sha256()
+    update = checksum.update
+    for i in range(count):
+        batch = Batch(tuple(
+            Request(op=("put", f"key-{i}-{j}", b"v" * 24),
+                    timestamp=i * 4 + j, client=j, size_bytes=64)
+            for j in range(4)))
+        for _ in range(fanout):
+            update(digest_fn(batch).value)
+    return {"digests": count * fanout, "checksum": checksum.hexdigest()}
+
+
+def bench_digest_cache(count: int = 3_000, fanout: int = 9,
+                       repeat: int = 3) -> Dict[str, Any]:
+    """Per-message digest cache + fast canonical encoding vs the seed
+    encoder, on the protocol re-digest pattern (stamp once, verify
+    ``fanout - 1`` times).  Byte-identical digests are asserted via the
+    rolling checksum in ``results_match``."""
+    return _compare(
+        lambda: _digest_cache_workload(digest_of, count, fanout),
+        lambda: _digest_cache_workload(_seed_digest_of, count, fanout),
+        count * fanout, repeat)
+
+
 def bench_xpaxos_closed_loop(num_clients: int = 16,
                              duration_ms: float = 2_000.0,
                              seed: int = 0) -> Dict[str, Any]:
@@ -737,6 +825,7 @@ def suite_benchmarks(events: int = 200_000, messages: int = 100_000,
             broadcast_rounds, seed=seed, repeat=repeat),
         "authenticated_broadcast": lambda: bench_authenticated_broadcast(
             max(1, broadcast_rounds // 3), seed=seed, repeat=repeat),
+        "digest_cache": lambda: bench_digest_cache(repeat=repeat),
         "xpaxos_closed_loop": lambda: bench_xpaxos_closed_loop(
             clients, duration_ms, seed=seed),
         "pipelined_throughput": lambda: bench_pipelined_throughput(
@@ -756,6 +845,29 @@ def unregistered_benchmarks() -> List[str]:
         name for name, value in globals().items()
         if name.startswith("bench_") and callable(value)
         and name[len("bench_"):] not in registered)
+
+
+def _host_facts() -> Dict[str, Any]:
+    """Host facts for perf-gate triage, recorded into every payload (and
+    therefore every archived trajectory point): a tripped gate whose
+    point shows a loaded or smaller host is contention, not a
+    regression (docs/parallelism.md)."""
+    facts: Dict[str, Any] = {"nproc": os.cpu_count()}
+    try:
+        facts["loadavg"] = [round(x, 2) for x in os.getloadavg()]
+    except (AttributeError, OSError):  # platforms without getloadavg
+        facts["loadavg"] = None
+    model = None
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:  # no procfs (macOS, Windows)
+        pass
+    facts["cpu_model"] = model
+    return facts
 
 
 def run_suite(events: int = 200_000, messages: int = 100_000,
@@ -792,6 +904,7 @@ def run_suite(events: int = 200_000, messages: int = 100_000,
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),
+            **_host_facts(),
         },
         "params": {
             "events": events, "messages": messages,

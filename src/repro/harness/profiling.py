@@ -29,6 +29,8 @@ import pstats
 from dataclasses import asdict, is_dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.crypto.primitives import digest_cache_stats
+
 #: Default number of rows shown by :func:`format_stats`.
 DEFAULT_LIMIT = 25
 
@@ -84,6 +86,13 @@ def subsystem_counters(sim: Any = None,
         stats = network.stats
         out["network"] = (asdict(stats) if is_dataclass(stats)
                          else dict(vars(stats)))
+    # Digest-cache counters are process-global (the cache lives on the
+    # message instances, not on a sim or network), so they are always
+    # reported; probes = every digest_of() call in the process.
+    cache = dict(digest_cache_stats())
+    probes = cache["hits"] + cache["stores"] + cache["uncached"]
+    cache["hit_rate"] = cache["hits"] / probes if probes else 0.0
+    out["digest_cache"] = cache
     return out
 
 

@@ -99,6 +99,45 @@ def best_speedups(history: List[Dict[str, Any]]) -> Dict[str, float]:
     return best
 
 
+def describe_host(host: Dict[str, Any]) -> str:
+    """One-line summary of a payload's recorded host facts.
+
+    Used by ``repro trajectory check`` when the gate trips: comparing
+    the current run's line against the best point's line is the fastest
+    way to tell a regression from host contention (different machine,
+    fewer cores, or a loadavg showing something else was running).
+    """
+    if not host:
+        return "(no host facts recorded)"
+    parts: List[str] = []
+    if host.get("cpu_model"):
+        parts.append(str(host["cpu_model"]))
+    if host.get("nproc") is not None:
+        parts.append(f"nproc={host['nproc']}")
+    loadavg = host.get("loadavg")
+    if loadavg:
+        parts.append("loadavg=" + "/".join(f"{x:.2f}" for x in loadavg))
+    if host.get("platform"):
+        parts.append(str(host["platform"]))
+    return ", ".join(parts) if parts else "(no host facts recorded)"
+
+
+def best_point_for(history: List[Dict[str, Any]],
+                   benchmark: str) -> Optional[Dict[str, Any]]:
+    """The archived point holding the best speedup for ``benchmark``."""
+    best_point: Optional[Dict[str, Any]] = None
+    best_speedup: Optional[float] = None
+    for point in history:
+        speedup = point.get("benchmarks", {}).get(benchmark, {}).get(
+            "speedup")
+        if speedup is None:
+            continue
+        if best_speedup is None or speedup > best_speedup:
+            best_speedup = speedup
+            best_point = point
+    return best_point
+
+
 def is_partial(payload: Dict[str, Any]) -> bool:
     """Was this payload produced by ``repro bench --only`` (a triage
     subset) or under ``--profile`` (instrumented timings)?

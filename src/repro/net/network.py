@@ -141,6 +141,14 @@ class Network:
         self.stats = NetworkStats()
         self._endpoints: Dict[str, Endpoint] = {}
         self._last_delivery: Dict[tuple, float] = {}
+        # Pre-bound hot-path callables.  send() runs once per protocol
+        # message; loading ``sim.post`` or ``self._deliver`` there would
+        # build a fresh bound-method object per call, so both are bound
+        # once here (instance attributes shadow the class methods).
+        self._post = sim.post
+        self._deliver = self._deliver
+        self._deliver_batch = self._deliver_batch
+        self._deliver_auth = self._deliver_auth
         #: Body digest of the authenticated delivery currently in flight
         #: (set around the ``deliver_auth`` callback, ``None`` otherwise).
         #: The receiver runtime passes it to ``Authenticator.verify`` as
@@ -205,7 +213,7 @@ class Network:
         order -- the same order per-receiver entries would have, since no
         other event can be scheduled between two members of one fan-out.
         """
-        post = self.sim.post
+        post = self._post
         deliver = self._deliver
         if not self.coalesce or len(deliveries) < 2:
             for arrival, target in deliveries:
@@ -245,11 +253,12 @@ class Network:
         the event queue (keeps handler re-entrancy simple).
         """
         endpoints = self._endpoints
-        source = endpoints.get(src)
-        target = endpoints.get(dst)
-        if source is None or target is None:
+        try:
+            source = endpoints[src]
+            target = endpoints[dst]
+        except KeyError:
             raise ConfigurationError(
-                f"unknown endpoint {src if source is None else dst}")
+                f"unknown endpoint {src if src not in endpoints else dst}")
         stats = self.stats
         stats.messages_sent += 1
         stats.bytes_sent += size_bytes
@@ -274,7 +283,7 @@ class Network:
                 and source.site != target.site):
             depart = self.bandwidth.serialize(src, size_bytes, depart)
         arrival = depart + self.latency.sample_one_way(
-            source.site, target.site, now=depart)
+            source.site, target.site, depart)
 
         if self.fifo:
             key = (src, dst)
@@ -283,7 +292,7 @@ class Network:
                 arrival = last
             self._last_delivery[key] = arrival
 
-        sim.post(arrival, self._deliver, (target, src, payload))
+        self._post(arrival, self._deliver, (target, src, payload))
 
     def multicast(self, src: str, dsts: Sequence[str], payload: Any,
                   size_bytes: int = 0) -> None:
@@ -316,12 +325,15 @@ class Network:
 
         deliveries: List[tuple] = []
         append = deliveries.append
+        # Send-side counters are per-destination-unconditional, so the
+        # whole fan-out is accounted in two adds instead of 2n.
+        n_dsts = len(dsts)
+        stats.messages_sent += n_dsts
+        stats.bytes_sent += size_bytes * n_dsts
         for dst in dsts:
             target = endpoints.get(dst)
             if target is None:
                 raise ConfigurationError(f"unknown endpoint {dst}")
-            stats.messages_sent += 1
-            stats.bytes_sent += size_bytes
             if not up:
                 stats.messages_dropped_crash += 1
                 continue
@@ -386,22 +398,25 @@ class Network:
             shared
         stats = self.stats
         stamp = authenticator.stamp
-        for target in targets:
-            if not target.is_up():
-                stats.messages_dropped_crash += 1
-                continue
-            stats.messages_delivered += 1
-            auth = stamp(keystore, src, target.name, context)
-            stats.auth_stamped += 1
-            deliver_auth = target.deliver_auth
-            if deliver_auth is not None:
-                self.delivery_digest = digest
-                try:
+        # One digest set/reset brackets the whole drain instead of one
+        # pair per receiver; deliveries are synchronous, so no other
+        # delivery can interleave and observe the wrong digest.
+        self.delivery_digest = digest
+        try:
+            for target in targets:
+                if not target.is_up():
+                    stats.messages_dropped_crash += 1
+                    continue
+                stats.messages_delivered += 1
+                auth = stamp(keystore, src, target.name, context)
+                stats.auth_stamped += 1
+                deliver_auth = target.deliver_auth
+                if deliver_auth is not None:
                     deliver_auth(src, body, auth, wire_bytes)
-                finally:
-                    self.delivery_digest = None
-            else:
-                target.deliver(src, body)
+                else:
+                    target.deliver(src, body)
+        finally:
+            self.delivery_digest = None
 
     def send_authenticated(self, src: str, dst: str, payload: Any,
                            size_bytes: int = 0, *,
@@ -413,11 +428,12 @@ class Network:
         path) with the authenticator stamped before scheduling.
         """
         endpoints = self._endpoints
-        source = endpoints.get(src)
-        target = endpoints.get(dst)
-        if source is None or target is None:
+        try:
+            source = endpoints[src]
+            target = endpoints[dst]
+        except KeyError:
             raise ConfigurationError(
-                f"unknown endpoint {src if source is None else dst}")
+                f"unknown endpoint {src if src not in endpoints else dst}")
         stats = self.stats
         wire_bytes = size_bytes + authenticator.auth_bytes
         stats.messages_sent += 1
@@ -441,7 +457,7 @@ class Network:
                 and source.site != target.site):
             depart = self.bandwidth.serialize(src, wire_bytes, depart)
         arrival = depart + self.latency.sample_one_way(
-            source.site, target.site, now=depart)
+            source.site, target.site, depart)
 
         if self.fifo:
             key = (src, dst)
@@ -453,7 +469,7 @@ class Network:
         context = authenticator.begin(keystore, src, payload)
         auth = authenticator.stamp(keystore, src, dst, context)
         stats.auth_stamped += 1
-        sim.post(arrival, self._deliver_auth,
+        self._post(arrival, self._deliver_auth,
                      (target, src, payload, auth, wire_bytes,
                       authenticator.context_digest(context)))
 
@@ -503,12 +519,15 @@ class Network:
 
         deliveries: List[tuple] = []
         append = deliveries.append
+        # Send-side counters are per-destination-unconditional, so the
+        # whole fan-out is accounted in two adds instead of 2n.
+        n_dsts = len(dsts)
+        stats.messages_sent += n_dsts
+        stats.bytes_sent += wire_bytes * n_dsts
         for dst in dsts:
             target = endpoints.get(dst)
             if target is None:
                 raise ConfigurationError(f"unknown endpoint {dst}")
-            stats.messages_sent += 1
-            stats.bytes_sent += wire_bytes
             if not up:
                 stats.messages_dropped_crash += 1
                 continue
@@ -538,9 +557,9 @@ class Network:
         stamp = authenticator.stamp
         deliver = self._deliver_auth
         if not self.coalesce or len(deliveries) < 2:
+            stats.auth_stamped += len(deliveries)
             for arrival, target in deliveries:
                 auth = stamp(keystore, src, target.name, context)
-                stats.auth_stamped += 1
                 post(arrival, deliver,
                          (target, src, payload, auth, wire_bytes, digest))
             return
@@ -554,9 +573,9 @@ class Network:
             else:
                 groups[arrival] = [prev, target]
         if len(groups) == len(deliveries):
+            stats.auth_stamped += len(deliveries)
             for arrival, target in deliveries:
                 auth = stamp(keystore, src, target.name, context)
-                stats.auth_stamped += 1
                 post(arrival, deliver,
                          (target, src, payload, auth, wire_bytes, digest))
             return

@@ -389,7 +389,7 @@ class BaselineReplica(ReplicaBase):
     def batch_digest(self, batch: Batch) -> Digest:
         """Digest over the signed request bodies of a batch, charging CPU."""
         self.cpu.charge_digest(batch.size_bytes)
-        return digest_of(tuple(r.body() for r in batch))
+        return batch.bodies_digest()
 
     # -- leader change ----------------------------------------------------
     def supports_view_change(self) -> bool:

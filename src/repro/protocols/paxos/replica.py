@@ -28,8 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.crypto.primitives import Digest
-from repro.protocols.base import BaselineReplica, register_modeled
+from repro.crypto.primitives import Digest, digest_of
+from repro.protocols.base import (
+    BaselineReplica,
+    GenericReply,
+    register_modeled,
+)
 from repro.smr.messages import Batch
 
 
@@ -197,9 +201,6 @@ class PaxosReplica(BaselineReplica):
         if self.is_leader:
             self.reply_to_clients(seqno, batch, results)
         else:
-            from repro.crypto.primitives import digest_of
-            from repro.protocols.base import GenericReply
-
             for request, result in zip(batch, results):
                 self._last_reply[request.client] = GenericReply(
                     replica=self.replica_id, view=self.view, seqno=seqno,

@@ -35,9 +35,7 @@ def batch_digest_of(batch: Batch) -> Digest:
     client) -- not just the identifiers -- so two different operations can
     never share a digest.
     """
-    from repro.crypto.primitives import digest_of
-
-    return digest_of(tuple(r.body() for r in batch))
+    return batch.bodies_digest()
 
 
 def prepare_payload(batch_digest: Digest, seqno: int, view: int) -> tuple:

@@ -40,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
-from repro.crypto.primitives import Digest
+from repro.crypto.primitives import Digest, digest_of
 from repro.protocols.base import BaselineReplica, register_modeled
 from repro.smr.log import CommitEntry
 from repro.smr.messages import Batch
@@ -181,8 +181,6 @@ class ZyzzyvaReplica(BaselineReplica):
         digest and drops the anchor -- followers then skip verification
         until the next NEW-VIEW re-anchors everyone.
         """
-        from repro.crypto.primitives import digest_of
-
         if self._history_anchored and seqno == self._history_covered + 1:
             self.cpu.charge_digest(64)
             self._history = digest_of((self._history, digest))
@@ -195,8 +193,6 @@ class ZyzzyvaReplica(BaselineReplica):
         """Extend the rolling digest in execution order and verify the
         primary's claim for this slot (execution order *is* seqno order,
         unlike arrival order, so every replica computes the same h_n)."""
-        from repro.crypto.primitives import digest_of
-
         claimed = self._claimed_history.pop(seqno, None)
         digest = self._order_digests.pop(seqno, None)
         if not self._history_anchored or seqno <= self._history_covered:
@@ -234,14 +230,11 @@ class ZyzzyvaReplica(BaselineReplica):
         executed past the merge.  Every replica anchors from the same
         entries, so the digests agree in the new view no matter how far
         each replica's speculation had run."""
-        from repro.crypto.primitives import digest_of
-
         self.cpu.charge_digest(64 * max(1, len(entries)))
         history = digest_of(("zyzzyva-history", view))
         covered = 0
         for sn, batch in entries:
-            history = digest_of(
-                (history, digest_of(tuple(r.body() for r in batch))))
+            history = digest_of((history, batch.bodies_digest()))
             covered = sn
         self._history = history
         self._history_covered = covered
@@ -254,8 +247,7 @@ class ZyzzyvaReplica(BaselineReplica):
                 self._history_anchored = False
                 return
             self._history = digest_of(
-                (self._history,
-                 digest_of(tuple(r.body() for r in entry.batch))))
+                (self._history, entry.batch.bodies_digest()))
             self._history_covered = sn
 
     def on_enter_view(self, view: int) -> None:

@@ -13,18 +13,27 @@ Design notes
   cancelled entries outnumber live ones the heap is compacted in one pass
   (the same strategy asyncio uses), so a cancel-heavy run never drags a
   long tail of dead timers through every push and pop.
-* **Allocation discipline**: the heap stores plain ``(time, sequence,
-  event)`` tuples (C-speed comparisons; the event object itself is never
-  compared), :class:`Event` has ``__slots__``, and executed or compacted
-  events are recycled through a free pool.  The pool cap scales with the
-  peak number of pending events (bounded by :data:`_POOL_CAP_MAX`), so a
-  run holding 10⁶ events in flight recycles at the same rate as a small
-  one instead of thrashing the allocator.  At steady state the hot loop
-  schedules and fires events with no per-event allocation beyond the heap
-  tuple.  Callers that never cancel can use :meth:`Simulator.schedule` to
-  skip the :class:`EventHandle`, or :meth:`Simulator.post` (message
-  delivery) to skip the :class:`Event` object entirely -- a light posting
-  is a bare ``(time, sequence, None, callback, args)`` heap tuple.
+* **Allocation discipline**: the heap stores uniform 5-slot ``[time,
+  sequence, event_or_None, callback, args]`` list entries (C-speed
+  element-wise comparisons that never get past the unique ``sequence``),
+  :class:`Event` has ``__slots__``, and executed or compacted events are
+  recycled through a free pool.  The entry lists themselves are recycled
+  through an arena freelist: a popped entry is returned to the arena
+  *before* its callback runs (its slots are overwritten on reuse and
+  cleared at run exit), so at steady state the hot loop
+  schedules and fires events with **zero** per-event allocation -- the
+  entry a delivery vacates is immediately reused by the deliveries it
+  causes, which also keeps the GC generation-0 counter flat (GC tracking
+  of per-message heap tuples used to be the floor under the delivery
+  path, ~2.5x the schedule() cost with GC on).  Both the event pool and
+  the arena share a cap that scales with the peak number of pending
+  events (bounded by :data:`_POOL_CAP_MAX`), so a run holding 10⁶ events
+  in flight recycles at the same rate as a small one instead of
+  thrashing the allocator.  Callers that never cancel can use
+  :meth:`Simulator.schedule` to skip the :class:`EventHandle`, or
+  :meth:`Simulator.post` (message delivery) to skip the :class:`Event`
+  object entirely -- a light posting is a bare ``[time, sequence, None,
+  callback, args]`` entry.
 * **Same-tick fast lane**: events scheduled at exactly ``now`` --
   ``call_soon`` kicks, zero-latency deliveries, parked-flush pumps -- go
   to a plain FIFO instead of the heap and are drained without a
@@ -148,7 +157,12 @@ class Simulator:
 
     def __init__(self, batch_drain: bool = True) -> None:
         self._now: float = 0.0
-        self._queue: List[Tuple[float, int, Event]] = []
+        # Heap entries are uniform 5-slot lists:
+        #   [time, sequence, event_or_None, callback, args]
+        # Event entries leave slots 3/4 as None; light postings leave
+        # slot 2 as None.  Uniformity matters: heapq compares entries
+        # element-wise, and mixing tuples with lists would raise.
+        self._queue: List[List[Any]] = []
         self._fifo: Deque[Event] = deque()
         self._batch_drain = batch_drain
         self._sequence: int = 0
@@ -159,6 +173,13 @@ class Simulator:
         self._pool: List[Event] = []
         self._pool_cap: int = _POOL_CAP
         self._pool_hits: int = 0
+        # Arena freelist of vacated heap-entry lists (recycled by the
+        # drain, drained by schedule()/post(); shares the adaptive pool
+        # cap).
+        # Misses (cold allocations) are counted instead of hits: every
+        # heap push is either a hit or a miss, so hits are derived.
+        self._arena: List[List[Any]] = []
+        self._arena_misses: int = 0
         self._fast_lane: int = 0
         self._compactions: int = 0
         self._compaction_dropped: int = 0
@@ -199,6 +220,9 @@ class Simulator:
         fast = self._fast_lane
         heap_pushes = scheduled - fast
         heap_pops = heap_pushes - len(self._queue) - self._compaction_dropped
+        # Every heap push either reuses an arena entry or allocates one,
+        # so hits fall out of the miss count kept off the hot path.
+        arena_hits = heap_pushes - self._arena_misses
         return {
             "now_ms": self._now,
             "scheduled": scheduled,
@@ -217,6 +241,11 @@ class Simulator:
             "pool_hits": self._pool_hits,
             "pool_hit_rate": self._pool_hits / scheduled if scheduled
             else 0.0,
+            "arena_cap": self._pool_cap,
+            "arena_size": len(self._arena),
+            "arena_hits": arena_hits,
+            "arena_hit_rate": (arena_hits / heap_pushes
+                               if heap_pushes else 0.0),
         }
 
     # ------------------------------------------------------------------
@@ -263,7 +292,20 @@ class Simulator:
             self._fifo.append(event)
             self._fast_lane += 1
         else:
-            _heappush(self._queue, (time, sequence, event))
+            # An event entry only stores slots 0..2: slots 3/4 may hold
+            # stale refs from a recycled light posting, but they are
+            # never read while slot 2 is non-None, and run()'s exit pass
+            # clears whatever the arena retains.
+            arena = self._arena
+            if arena:
+                entry = arena.pop()
+                entry[0] = time
+                entry[1] = sequence
+                entry[2] = event
+            else:
+                self._arena_misses += 1
+                entry = [time, sequence, event, None, None]
+            _heappush(self._queue, entry)
         live = self._live + 1
         self._live = live
         if live > self._peak_live:
@@ -277,12 +319,12 @@ class Simulator:
              args: Tuple[Any, ...] = ()) -> None:
         """Fire-and-forget scheduling: no :class:`Event`, no handle.
 
-        The heap entry is a bare ``(time, sequence, None, callback,
-        args)`` tuple -- one tracked allocation per posting instead of
-        two, nothing to recycle, and no cancelled-check on the drain.
-        This is the message-delivery path: the network posts every
-        delivery (they are never cancelled), which makes this the most
-        frequently executed scheduling call in the repository.
+        The heap entry is a bare ``[time, sequence, None, callback,
+        args]`` list drawn from the arena freelist -- at steady state
+        zero tracked allocations per posting, and no cancelled-check on
+        the drain.  This is the message-delivery path: the network posts
+        every delivery (they are never cancelled), which makes this the
+        most frequently executed scheduling call in the repository.
 
         Same-tick postings fall back to :meth:`schedule` so the FIFO
         fast lane keeps carrying homogeneous :class:`Event` objects.
@@ -300,7 +342,17 @@ class Simulator:
             return
         sequence = self._sequence
         self._sequence = sequence + 1
-        _heappush(self._queue, (time, sequence, None, callback, args))
+        arena = self._arena
+        if arena:
+            entry = arena.pop()
+            entry[0] = time
+            entry[1] = sequence
+            entry[3] = callback
+            entry[4] = args
+        else:
+            self._arena_misses += 1
+            entry = [time, sequence, None, callback, args]
+        _heappush(self._queue, entry)
         live = self._live + 1
         self._live = live
         if live > self._peak_live:
@@ -395,6 +447,7 @@ class Simulator:
         """
         pool = self._pool
         pool_cap = self._pool_cap
+        arena = self._arena
         queue = self._queue
         keep = []
         for entry in queue:
@@ -402,6 +455,9 @@ class Simulator:
             if event is not None and event.cancelled:
                 if len(pool) < pool_cap:
                     pool.append(event)
+                if len(arena) < pool_cap:
+                    entry[2] = None
+                    arena.append(entry)
             else:
                 keep.append(entry)
         self._compaction_dropped += len(queue) - len(keep)
@@ -441,6 +497,7 @@ class Simulator:
         """
         queue = self._queue
         fifo = self._fifo
+        arena = self._arena
         while True:
             if fifo and (not queue or queue[0][0] > self._now):
                 event = fifo.popleft()
@@ -455,8 +512,20 @@ class Simulator:
                     self._now = entry[0]
                     self._executed += 1
                     self._live -= 1
-                    entry[3](*entry[4])
+                    callback = entry[3]
+                    args = entry[4]
+                    entry[3] = None
+                    entry[4] = None
+                    if len(arena) < self._pool_cap:
+                        arena.append(entry)
+                    callback(*args)
                     return True
+                # Event entry: slots 3/4 are never read while slot 2 is
+                # non-None, so the shell is recyclable as soon as slot 2
+                # is cleared.
+                entry[2] = None
+                if len(arena) < self._pool_cap:
+                    arena.append(entry)
                 if event.cancelled:
                     self._cancelled_queued -= 1
                     self._retire(event)
@@ -494,6 +563,14 @@ class Simulator:
         queue = self._queue
         fifo = self._fifo
         pool = self._pool
+        arena = self._arena
+        # Recycling inside the drain appends unconditionally (no len/cap
+        # check per event); the finally clause trims both freelists back
+        # to the cap in one pass.  Transient growth is bounded by the
+        # peak number of in-flight entries -- the same memory the heap
+        # itself just released.
+        pool_append = pool.append
+        arena_append = arena.append
         pop = heapq.heappop
         try:
             if until is None and max_events is None:
@@ -506,8 +583,7 @@ class Simulator:
                         if event.cancelled:
                             self._cancelled_queued -= 1
                             event.sequence = -1
-                            if len(pool) < self._pool_cap:
-                                pool.append(event)
+                            pool_append(event)
                             continue
                         self._now = event.time
                     else:
@@ -516,21 +592,31 @@ class Simulator:
                         entry = pop(queue)
                         event = entry[2]
                         if event is None:
-                            # Light posting: fire straight off the tuple.
+                            # Light posting: fire straight off the entry.
+                            # The shell goes back to the arena *before*
+                            # the callback runs, so the entry a delivery
+                            # vacates is immediately reused by the
+                            # deliveries it causes.  Slots 3/4 are left
+                            # stale here (post() overwrites them on
+                            # reuse, event entries never read them); the
+                            # finally clause clears whatever the arena
+                            # still holds at exit.
                             self._now = entry[0]
-                            self._executed += 1
                             executed += 1
                             self._live -= 1
-                            entry[3](*entry[4])
+                            callback = entry[3]
+                            args = entry[4]
+                            arena_append(entry)
+                            callback(*args)
                             continue
+                        entry[2] = None
+                        arena_append(entry)
                         if event.cancelled:
                             self._cancelled_queued -= 1
                             event.sequence = -1
-                            if len(pool) < self._pool_cap:
-                                pool.append(event)
+                            pool_append(event)
                             continue
                         self._now = entry[0]
-                    self._executed += 1
                     executed += 1
                     self._live -= 1
                     callback = event.callback
@@ -538,8 +624,7 @@ class Simulator:
                     event.sequence = -1
                     event.callback = None
                     event.args = ()
-                    if len(pool) < self._pool_cap:
-                        pool.append(event)
+                    pool_append(event)
                     if args:
                         callback(*args)
                     else:
@@ -557,8 +642,7 @@ class Simulator:
                         fifo.popleft()
                         self._cancelled_queued -= 1
                         event.sequence = -1
-                        if len(pool) < self._pool_cap:
-                            pool.append(event)
+                        pool_append(event)
                         continue
                     if until is not None and event.time > until:
                         break
@@ -574,23 +658,27 @@ class Simulator:
                             break
                         pop(queue)
                         self._now = entry[0]
-                        self._executed += 1
                         executed += 1
                         self._live -= 1
-                        entry[3](*entry[4])
+                        callback = entry[3]
+                        args = entry[4]
+                        arena_append(entry)
+                        callback(*args)
                         continue
                     if event.cancelled:
                         pop(queue)
                         self._cancelled_queued -= 1
                         event.sequence = -1
-                        if len(pool) < self._pool_cap:
-                            pool.append(event)
+                        pool_append(event)
+                        entry[2] = None
+                        arena_append(entry)
                         continue
                     if until is not None and entry[0] > until:
                         break
                     pop(queue)
                     self._now = entry[0]
-                self._executed += 1
+                    entry[2] = None
+                    arena_append(entry)
                 executed += 1
                 self._live -= 1
                 callback = event.callback
@@ -598,14 +686,28 @@ class Simulator:
                 event.sequence = -1
                 event.callback = None
                 event.args = ()
-                if len(pool) < self._pool_cap:
-                    pool.append(event)
+                pool_append(event)
                 if args:
                     callback(*args)
                 else:
                     callback()
         finally:
             self._running = False
+            # Deferred bookkeeping: the executed counter is only read
+            # between runs, so the hot loops keep a local and commit it
+            # here (exceptions included).
+            self._executed += executed
+            # Trim both freelists back to the cap, and clear the stale
+            # callback/args slots light postings left behind so parked
+            # arena entries never pin delivered payloads between runs.
+            cap = self._pool_cap
+            if len(arena) > cap:
+                del arena[cap:]
+            if len(pool) > cap:
+                del pool[cap:]
+            for entry in arena:
+                entry[3] = None
+                entry[4] = None
         if until is not None and self._now < until:
             self._now = until
         return executed

@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
-from repro.crypto.primitives import Digest, Signature
+from repro.crypto.primitives import (
+    Digest,
+    Signature,
+    cache_on_instance,
+    digest_of,
+)
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,22 @@ class Batch:
     def size_bytes(self) -> int:
         """Wire size: sum of request payloads (headers are negligible)."""
         return sum(r.size_bytes for r in self.requests)
+
+    def bodies_digest(self) -> Digest:
+        """Digest over the signed request bodies, cached per instance.
+
+        Byte-identical to ``digest_of(tuple(r.body() for r in batch))``.
+        The batch is frozen, and in-process delivery shares one Batch
+        object across every replica, so the body-tuple hash is computed
+        once per batch instead of once per (replica, certificate,
+        history-extension).  Callers still charge digest CPU per
+        derivation -- the cache models memoized code, not free hashing.
+        """
+        cached = getattr(self, "_bodies_digest", None)
+        if cached is None:
+            cached = digest_of(tuple(r.body() for r in self.requests))
+            cache_on_instance(self, "_bodies_digest", cached)
+        return cached
 
     def __len__(self) -> int:
         return len(self.requests)

@@ -256,6 +256,67 @@ class TestA001UnregisteredWireMessage:
         assert found(report, "A001") == []
 
 
+A002_CACHE = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Entry:
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", abs(self.value))
+
+
+def poke(entry, digest):
+    object.__setattr__(entry, "value", 7)
+
+
+def memo(entry, digest):
+    object.__setattr__(entry, "_cached_digest", digest)  # repro: lint-ok[A002] fixture suppression
+"""
+
+
+class TestA002FrozenMessageMutation:
+    def fixture(self):
+        return {"pkg/protocols/demo/state.py": A002_CACHE}
+
+    def test_mutation_outside_post_init_fires(self, lint_tree):
+        report = lint_tree(self.fixture())
+        hits = found(report, "A002")
+        assert ("demo/state.py",
+                line_of(A002_CACHE, 'object.__setattr__(entry, "value"')) \
+            in hits
+        assert len(hits) == 1  # __post_init__ and the suppression stay quiet
+
+    def test_crypto_primitives_is_exempt(self, lint_tree):
+        report = lint_tree({
+            "pkg/crypto/primitives.py": """\
+                def cache_on_instance(obj, attr, value):
+                    object.__setattr__(obj, attr, value)
+            """,
+        })
+        assert found(report, "A002") == []
+
+    def test_nested_function_inside_post_init_is_allowed(self, lint_tree):
+        report = lint_tree({
+            "pkg/app.py": """\
+                from dataclasses import dataclass
+
+
+                @dataclass(frozen=True)
+                class Conf:
+                    n: int
+
+                    def __post_init__(self):
+                        def fix(v):
+                            object.__setattr__(self, "n", v)
+                        fix(3)
+            """,
+        })
+        assert found(report, "A002") == []
+
+
 # ---------------------------------------------------------------------------
 # S-series: simulator hygiene
 # ---------------------------------------------------------------------------

@@ -75,8 +75,8 @@ class TestCommands:
         assert set(benches) == {"event_churn", "heap_churn_1m",
                                 "same_tick_drain", "message_storm",
                                 "broadcast_storm", "authenticated_broadcast",
-                                "xpaxos_closed_loop", "pipelined_throughput",
-                                "cohort_driver"}
+                                "digest_cache", "xpaxos_closed_loop",
+                                "pipelined_throughput", "cohort_driver"}
         # The optimized paths must be observationally identical to the seed.
         assert benches["heap_churn_1m"]["results_match"]
         assert benches["same_tick_drain"]["results_match"]
